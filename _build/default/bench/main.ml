@@ -1,0 +1,339 @@
+(* Benchmark harness.
+
+   Two halves:
+   1. Bechamel micro-benchmarks — one [Test.make] per experiment table,
+      each timing one representative execution of that experiment's
+      scenario (so the cost of regenerating each table is itself
+      tracked), plus substrate micro-benches (event queue, PRNG, the
+      ordering oracle).
+   2. The experiment tables themselves (E1-E9, A1, A2): the rows that
+      reproduce each of the paper's quantitative claims.
+
+   BENCH_SPEED=full widens the sweeps (more sizes, more seeds);
+   BENCH_SKIP_MICRO=1 skips the bechamel half. *)
+
+open Bechamel
+
+let delta = 0.01
+
+let ts = 0.5
+
+(* --- representative single runs, one per experiment table ----------- *)
+
+let run_modified_paxos ~n ~network ~faults ~injections () =
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~seed:42L ~network ~faults ()
+  in
+  let cfg = Dgl.Config.make ~n ~delta () in
+  Sim.Engine.run ~injections sc (Dgl.Modified_paxos.protocol cfg)
+
+let e1_once () =
+  let n = 9 in
+  let victims = Harness.Adversaries.faulty_minority ~n in
+  ignore
+    (run_modified_paxos ~n ~network:Sim.Network.deterministic_after_ts
+       ~faults:(Sim.Fault.make ~initially_down:victims [])
+       ~injections:
+         (Harness.Adversaries.dgl_session1_injections ~n ~from:ts
+            ~spacing:(2. *. delta) ~victims)
+       ())
+
+let e2_once () =
+  let n = 9 in
+  let victims = Harness.Adversaries.faulty_minority ~n in
+  let faults = Sim.Fault.make ~initially_down:victims [] in
+  let t0 =
+    Harness.Adversaries.traditional_first_start ~ts ~theta:(2. *. delta)
+      ~stabilize_delay:delta
+  in
+  let injections =
+    Harness.Adversaries.paxos_aligned_injections ~n ~delta ~t0 ~leader:0
+      ~victims
+  in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~seed:42L
+      ~network:Sim.Network.deterministic_after_ts ~faults ()
+  in
+  let oracle = Baselines.Leader_election.make ~n ~ts ~delta ~faults () in
+  ignore
+    (Sim.Engine.run ~injections sc
+       (Baselines.Traditional_paxos.protocol ~n ~delta ~oracle ()))
+
+let e3_once () =
+  let n = 9 in
+  let dead = List.init (Consensus.Quorum.majority n - 1) (fun i -> i) in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~seed:42L
+      ~network:Sim.Network.silent_until_ts
+      ~faults:(Sim.Fault.make ~initially_down:dead [])
+      ()
+  in
+  ignore
+    (Sim.Engine.run sc (Baselines.Rotating_coordinator.protocol ~n ~delta ()))
+
+let e4_once () =
+  let n = 5 in
+  let faults =
+    Sim.Fault.crash_then_restart ~crash_at:(ts /. 2.)
+      ~restart_at:(ts +. (20. *. delta))
+      2
+  in
+  ignore
+    (run_modified_paxos ~n
+       ~network:(Sim.Network.eventually_synchronous ())
+       ~faults ~injections:[] ())
+
+let e5_once () =
+  let n = 9 in
+  let victims = Harness.Adversaries.faulty_minority ~n in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~seed:42L
+      ~network:Sim.Network.silent_until_ts
+      ~faults:(Sim.Fault.make ~initially_down:victims [])
+      ()
+  in
+  ignore
+    (Sim.Engine.run sc
+       (Bconsensus.Modified_b_consensus.protocol ~n ~delta ~rho:0. ()))
+
+let e6_once () =
+  let n = 5 in
+  let cfg = Dgl.Config.make ~n ~delta ~epsilon:delta () in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~seed:42L
+      ~network:Sim.Network.silent_until_ts ()
+  in
+  ignore (Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg))
+
+let e7_once () =
+  let n = 5 in
+  let cfg = Dgl.Config.make ~n ~delta () in
+  let options = { Dgl.Modified_paxos.default_options with prestart = true } in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts:0. ~delta ~seed:42L
+      ~network:Sim.Network.deterministic_after_ts ()
+  in
+  ignore (Sim.Engine.run sc (Dgl.Modified_paxos.protocol ~options cfg))
+
+let e8_once () =
+  let n = 5 in
+  let cfg = Dgl.Config.make ~n ~delta ~sigma:(8. *. delta) () in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~seed:42L
+      ~network:Sim.Network.silent_until_ts ()
+  in
+  ignore (Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg))
+
+let e9_once () =
+  let n = 5 in
+  let cfg = Dgl.Config.make ~n ~delta ~rho:0.05 () in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~rho:0.05 ~seed:42L
+      ~network:Sim.Network.silent_until_ts ()
+  in
+  ignore (Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg))
+
+let a1_once () =
+  let n = 9 in
+  let victims = Harness.Adversaries.faulty_minority ~n in
+  let cfg = Dgl.Config.make ~n ~delta () in
+  let options =
+    { Dgl.Modified_paxos.default_options with session_gate = false }
+  in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~seed:42L
+      ~network:Sim.Network.deterministic_after_ts
+      ~faults:(Sim.Fault.make ~initially_down:victims [])
+      ()
+  in
+  ignore
+    (Sim.Engine.run
+       ~injections:
+         (Harness.Adversaries.dgl_high_session_injections ~n ~from:ts
+            ~spacing:(3. *. delta) ~victims)
+       sc
+       (Dgl.Modified_paxos.protocol ~options cfg))
+
+let a2_once () =
+  let n = 9 in
+  let tuning =
+    {
+      (Bconsensus.Modified_b_consensus.default_tuning ~delta) with
+      hold_back = 0.5 *. delta;
+    }
+  in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~seed:42L
+      ~network:(Sim.Network.eventually_synchronous ())
+      ~horizon:(ts +. (500. *. delta))
+      ()
+  in
+  ignore
+    (Sim.Engine.run sc
+       (Bconsensus.Modified_b_consensus.protocol ~tuning ~n ~delta ~rho:0. ()))
+
+let e10_once () =
+  let n = 5 in
+  let cfg = Dgl.Config.make ~n ~delta () in
+  let workloads =
+    Array.init n (fun p ->
+        if p <> 1 then []
+        else
+          List.init 4 (fun k ->
+              ( 0.2 +. (10. *. delta *. float_of_int k),
+                Smr.Command.make ~id:k (Smr.Command.Add 1) )))
+  in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts:0. ~delta ~seed:42L
+      ~network:Sim.Network.deterministic_after_ts ~horizon:1.0 ()
+  in
+  ignore (Sim.Engine.run sc (Smr.Multi_paxos.protocol cfg ~workloads))
+
+let a3_once () =
+  let n = 5 in
+  let tuning =
+    {
+      (Bconsensus.Modified_b_consensus.default_tuning ~delta) with
+      epsilon = delta;
+      jump = false;
+    }
+  in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts:(25. *. delta) ~delta ~seed:42L
+      ~network:(Sim.Network.partitioned_until_ts [ List.init (n - 1) Fun.id ])
+      ~horizon:(25. *. delta +. 2.) ()
+  in
+  ignore
+    (Sim.Engine.run sc
+       (Bconsensus.Modified_b_consensus.protocol ~tuning ~n ~delta ~rho:0. ()))
+
+let e11_once () =
+  let n = 9 in
+  let dead = List.init (n - Consensus.Quorum.majority n) Fun.id in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts ~delta ~seed:42L
+      ~network:Sim.Network.deterministic_after_ts
+      ~faults:(Sim.Fault.make ~initially_down:dead [])
+      ~horizon:(ts +. 1.0) ()
+  in
+  ignore (Sim.Engine.run sc (Baselines.Heartbeat_omega.protocol ~n ~delta ()))
+
+let a4_once () =
+  let n = 5 in
+  let cfg = Dgl.Config.make ~n ~delta () in
+  let workloads =
+    Array.init n (fun p ->
+        if p <> 1 then []
+        else [ (0.1, Smr.Command.make ~id:0 (Smr.Command.Add 1)) ])
+  in
+  let sc =
+    Sim.Scenario.make ~name:"bench" ~n ~ts:0. ~delta ~seed:42L
+      ~network:Sim.Network.always_synchronous ~stop_on_all_decided:false
+      ~horizon:1.0 ()
+  in
+  ignore
+    (Sim.Engine.run sc
+       (Smr.Multi_paxos.protocol ~progress_gate:false cfg ~workloads))
+
+(* --- substrate micro-benches ---------------------------------------- *)
+
+let heap_churn () =
+  let cmp (a : float * int) b = compare a b in
+  let h = ref (Sim.Pairing_heap.empty ~cmp) in
+  for i = 0 to 999 do
+    h := Sim.Pairing_heap.insert !h (float_of_int ((i * 7919) mod 997), i)
+  done;
+  for _ = 0 to 999 do
+    match Sim.Pairing_heap.pop_min !h with
+    | Some (_, rest) -> h := rest
+    | None -> ()
+  done
+
+let prng_draws () =
+  let rng = Sim.Prng.create 1L in
+  for _ = 0 to 999 do
+    ignore (Sim.Prng.float rng 1.0)
+  done
+
+let oracle_churn () =
+  let o = ref (Bconsensus.Ordering_oracle.create ~owner:0 ~hold_local:0.02) in
+  for i = 0 to 199 do
+    let oo, stamp = Bconsensus.Ordering_oracle.next_stamp !o in
+    let oo, _release =
+      Bconsensus.Ordering_oracle.receive oo
+        ~now_local:(float_of_int i *. 0.001)
+        ~stamp (i, i)
+    in
+    o := oo
+  done;
+  ignore (Bconsensus.Ordering_oracle.due !o ~now_local:10.)
+
+let tests =
+  Test.make_grouped ~name:"repro"
+    [
+      Test.make ~name:"e1/modified-paxos-run" (Staged.stage e1_once);
+      Test.make ~name:"e2/traditional-paxos-run" (Staged.stage e2_once);
+      Test.make ~name:"e3/rotating-coordinator-run" (Staged.stage e3_once);
+      Test.make ~name:"e4/restart-run" (Staged.stage e4_once);
+      Test.make ~name:"e5/b-consensus-run" (Staged.stage e5_once);
+      Test.make ~name:"e6/epsilon-run" (Staged.stage e6_once);
+      Test.make ~name:"e7/prestart-run" (Staged.stage e7_once);
+      Test.make ~name:"e8/sigma-run" (Staged.stage e8_once);
+      Test.make ~name:"e9/drift-run" (Staged.stage e9_once);
+      Test.make ~name:"a1/ungated-run" (Staged.stage a1_once);
+      Test.make ~name:"a2/holdback-run" (Staged.stage a2_once);
+      Test.make ~name:"e10/smr-run" (Staged.stage e10_once);
+      Test.make ~name:"e11/omega-run" (Staged.stage e11_once);
+      Test.make ~name:"a3/nojump-run" (Staged.stage a3_once);
+      Test.make ~name:"a4/progress-gate-run" (Staged.stage a4_once);
+      Test.make ~name:"substrate/pairing-heap-1k" (Staged.stage heap_churn);
+      Test.make ~name:"substrate/prng-1k" (Staged.stage prng_draws);
+      Test.make ~name:"substrate/ordering-oracle-200" (Staged.stage oracle_churn);
+    ]
+
+let run_micro () =
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "--- micro-benchmarks (monotonic clock, OLS ns/run) ---\n";
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some [ est ] ->
+          Printf.printf "  %-36s %12.0f ns/run  (r2 %s)\n" name est
+            (match Analyze.OLS.r_square o with
+            | Some r2 -> Printf.sprintf "%.3f" r2
+            | None -> "n/a")
+      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+    rows;
+  print_newline ()
+
+let () =
+  let speed =
+    match Sys.getenv_opt "BENCH_SPEED" with
+    | Some "full" -> Harness.Experiments.Full
+    | _ -> Harness.Experiments.Quick
+  in
+  if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then run_micro ();
+  let t0 = Unix.gettimeofday () in
+  let tables = Harness.Experiments.all ~speed () in
+  Harness.Report.print_all Format.std_formatter tables;
+  Format.printf "@.";
+  Harness.Report.bar_chart Format.std_formatter
+    ~title:
+      "Headline figure: worst-case decision latency after TS, each \
+       algorithm under its worst admissible adversary"
+    ~unit_label:"delta"
+    (Harness.Experiments.headline ~speed ());
+  Format.printf "@.(experiments regenerated in %.1fs, speed=%s)@."
+    (Unix.gettimeofday () -. t0)
+    (match speed with Harness.Experiments.Full -> "full" | Quick -> "quick")

@@ -1,0 +1,622 @@
+(* consensus-sim: run one consensus execution or regenerate the paper's
+   experiment tables from the command line.
+
+     consensus-sim run --protocol modified-paxos --n 5 --ts 0.5
+     consensus-sim run --protocol traditional-paxos --n 9 --network silent
+     consensus-sim experiment e1
+     consensus-sim experiment all --full
+     consensus-sim list *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                             *)
+(* ------------------------------------------------------------------ *)
+
+type proto_kind = Modified_paxos | Traditional_paxos | Rotating | B_consensus | Smr
+
+let protocols =
+  [
+    ("modified-paxos", Modified_paxos);
+    ("traditional-paxos", Traditional_paxos);
+    ("rotating-coordinator", Rotating);
+    ("b-consensus", B_consensus);
+    ("smr", Smr);
+  ]
+
+let networks delta =
+  [
+    ("lossy", Sim.Network.eventually_synchronous ());
+    ("silent", Sim.Network.silent_until_ts);
+    ("sync", Sim.Network.always_synchronous);
+    ("deterministic", Sim.Network.deterministic_after_ts);
+    ( "lossy-light",
+      Sim.Network.eventually_synchronous ~pre_loss:0.2
+        ~pre_delay_max:(2. *. delta) () );
+  ]
+
+(* "p@t" crash/restart specs. *)
+let fault_spec_conv =
+  let parse s =
+    match String.split_on_char '@' s with
+    | [ p; t ] -> (
+        match (int_of_string_opt p, float_of_string_opt t) with
+        | Some p, Some t -> Ok (p, t)
+        | _ -> Error (`Msg (Printf.sprintf "bad fault spec %S (want p@t)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "bad fault spec %S (want p@t)" s))
+  in
+  let print fmt (p, t) = Format.fprintf fmt "%d@%g" p t in
+  Arg.conv (parse, print)
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let delta_arg =
+  Arg.(
+    value
+    & opt float 0.01
+    & info [ "delta" ] ~docv:"SECONDS"
+        ~doc:"Post-stabilization message-delivery bound.")
+
+let ts_arg =
+  Arg.(
+    value
+    & opt float 0.5
+    & info [ "ts" ] ~docv:"SECONDS" ~doc:"Stabilization time TS.")
+
+let rho_arg =
+  Arg.(
+    value
+    & opt float 0.
+    & info [ "rho" ] ~docv:"RHO" ~doc:"Clock rate-error bound, 0 <= rho < 1.")
+
+let seed_arg =
+  Arg.(
+    value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let network_arg =
+  Arg.(
+    value
+    & opt string "lossy"
+    & info [ "network" ]
+        ~doc:
+          "Pre-TS network behaviour: $(b,lossy) (50% loss, long delays), \
+           $(b,lossy-light), $(b,silent), $(b,sync) (stable from the \
+           start), or $(b,deterministic) (silent before TS, exactly delta \
+           after).")
+
+let proto_arg =
+  Arg.(
+    value
+    & opt (enum protocols) Modified_paxos
+    & info [ "protocol"; "p" ]
+        ~doc:
+          "Protocol: $(b,modified-paxos) (the paper's algorithm), \
+           $(b,traditional-paxos), $(b,rotating-coordinator), \
+           $(b,b-consensus), or $(b,smr) (state machine replication; see \
+           --commands).")
+
+let crash_arg =
+  Arg.(
+    value
+    & opt_all fault_spec_conv []
+    & info [ "crash" ] ~docv:"P@T" ~doc:"Crash process P at time T (repeatable).")
+
+let restart_arg =
+  Arg.(
+    value
+    & opt_all fault_spec_conv []
+    & info [ "restart" ] ~docv:"P@T"
+        ~doc:"Restart process P at time T (repeatable).")
+
+let down_arg =
+  Arg.(
+    value
+    & opt_all int []
+    & info [ "down" ] ~docv:"P" ~doc:"Process P is down from the start.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ] ~doc:"Print the full event trace of the run.")
+
+let sigma_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "sigma" ] ~docv:"SECONDS"
+        ~doc:"Session-timeout upper bound (modified Paxos; default 5*delta).")
+
+let epsilon_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "epsilon" ] ~docv:"SECONDS"
+        ~doc:"Phase-1a resend period (default delta/4).")
+
+let commands_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "commands" ] ~docv:"K"
+        ~doc:
+          "For -p smr: K commands submitted to process 1, 10*delta apart, \
+           starting at TS/2.")
+
+let horizon_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Hard stop for the event loop.")
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let print_result ~ts ~delta (r : _ Sim.Engine.run_result) ~trace =
+  Format.printf "protocol: %s@." r.Sim.Engine.protocol_name;
+  Format.printf "scenario: %a@." Sim.Scenario.pp r.scenario;
+  if trace then begin
+    Format.printf "--- trace ---@.";
+    Sim.Trace.pp Format.std_formatter r.trace;
+    Format.printf "--- end trace ---@."
+  end;
+  List.iter
+    (fun (p, t, v) ->
+      Format.printf "p%d decided %d at %a (%+.1f delta after TS)@." p v
+        Sim.Sim_time.pp t
+        ((t -. ts) /. delta))
+    (Sim.Engine.decisions r);
+  Array.iteri
+    (fun p v -> if v = None then Format.printf "p%d: no decision@." p)
+    r.decision_values;
+  Format.printf "messages: sent %d, delivered %d, dropped %d@."
+    r.messages_sent r.messages_delivered r.messages_dropped;
+  Format.printf "events processed: %d, end time: %a@." r.events_processed
+    Sim.Sim_time.pp r.end_time;
+  match Harness.Measure.check_safety r with
+  | Ok () -> Format.printf "safety: agreement + validity OK@."
+  | Error msg -> Format.printf "SAFETY: %s@." msg
+
+let run_cmd_impl proto n delta ts rho seed network crashes restarts down
+    trace sigma epsilon horizon commands =
+  let faults =
+    Sim.Fault.make ~initially_down:down
+      (List.map (fun (p, t) -> Sim.Fault.crash ~at:t p) crashes
+      @ List.map (fun (p, t) -> Sim.Fault.restart ~at:t p) restarts)
+  in
+  let network =
+    match List.assoc_opt network (networks delta) with
+    | Some p -> p
+    | None -> failwith (Printf.sprintf "unknown network %S" network)
+  in
+  let sc =
+    Sim.Scenario.make ~name:"cli" ~n ~ts ~delta ~rho ~seed ~network ~faults
+      ?horizon ~record_trace:trace ()
+  in
+  (match Sim.Scenario.validate sc with
+  | Ok () -> ()
+  | Error msg -> failwith ("invalid scenario: " ^ msg));
+  match proto with
+  | Modified_paxos ->
+      let cfg = Dgl.Config.make ?sigma ?epsilon ~rho ~n ~delta () in
+      let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
+      print_result ~ts ~delta r ~trace
+  | Traditional_paxos ->
+      let oracle = Baselines.Leader_election.make ~n ~ts ~delta ~faults () in
+      let r =
+        Sim.Engine.run sc
+          (Baselines.Traditional_paxos.protocol ~n ~delta ~oracle ())
+      in
+      print_result ~ts ~delta r ~trace
+  | Rotating ->
+      let r =
+        Sim.Engine.run sc (Baselines.Rotating_coordinator.protocol ~n ~delta ())
+      in
+      print_result ~ts ~delta r ~trace
+  | B_consensus ->
+      let r =
+        Sim.Engine.run sc
+          (Bconsensus.Modified_b_consensus.protocol ~n ~delta ~rho ())
+      in
+      print_result ~ts ~delta r ~trace
+  | Smr ->
+      let cfg = Dgl.Config.make ?sigma ?epsilon ~rho ~n ~delta () in
+      let workloads =
+        Array.init n (fun p ->
+            if p <> 1 mod n then []
+            else
+              List.init commands (fun k ->
+                  ( (ts /. 2.) +. (10. *. delta *. float_of_int k),
+                    Smr.Command.make ~id:k (Smr.Command.Add (k + 1)) )))
+      in
+      let r = Sim.Engine.run sc (Smr.Multi_paxos.protocol cfg ~workloads) in
+      Format.printf "protocol: %s@." r.Sim.Engine.protocol_name;
+      Format.printf "scenario: %a@." Sim.Scenario.pp r.scenario;
+      if trace then Sim.Trace.pp Format.std_formatter r.trace;
+      Array.iteri
+        (fun p st ->
+          match st with
+          | Some st ->
+              Format.printf
+                "replica %d: register=%d, log=%d entries, %d commands \
+                 applied, converged=%b@."
+                p
+                (Smr.Multi_paxos.register st)
+                (Smr.Multi_paxos.chosen_upto st)
+                (List.length (Smr.Multi_paxos.applied st))
+                (r.Sim.Engine.decision_values.(p) <> None)
+          | None -> Format.printf "replica %d: down@." p)
+        r.final_states;
+      (match r.agreement_violation with
+      | None -> Format.printf "logs: identical applied sequences@."
+      | Some _ -> Format.printf "LOG DIVERGENCE@.")
+
+let run_term =
+  Term.(
+    const run_cmd_impl $ proto_arg $ n_arg $ delta_arg $ ts_arg $ rho_arg
+    $ seed_arg $ network_arg $ crash_arg $ restart_arg $ down_arg $ trace_arg
+    $ sigma_arg $ epsilon_arg $ horizon_arg $ commands_arg)
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one consensus execution and print the outcome.")
+    run_term
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_impl id full =
+  let speed =
+    if full then Harness.Experiments.Full else Harness.Experiments.Quick
+  in
+  match String.lowercase_ascii id with
+  | "all" ->
+      Harness.Report.print_all Format.std_formatter
+        (Harness.Experiments.all ~speed ())
+  | id -> (
+      match Harness.Experiments.by_id id with
+      | Some f -> Harness.Report.print Format.std_formatter (f ~speed ())
+      | None ->
+          failwith
+            (Printf.sprintf "unknown experiment %S (try: %s, all)" id
+               (String.concat ", " Harness.Experiments.ids)))
+
+let experiment_cmd =
+  let id_arg =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"ID" ~doc:"Experiment id (e1..e9, a1, a2, or all).")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ] ~doc:"Wider sweeps: more sizes and more seeds.")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one (or all) of the paper's experiment tables.")
+    Term.(const experiment_impl $ id_arg $ full_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_impl proto sizes seeds delta ts network =
+  let network_policy =
+    match List.assoc_opt network (networks delta) with
+    | Some p -> p
+    | None -> failwith (Printf.sprintf "unknown network %S" network)
+  in
+  Format.printf "  %-4s | %-10s | %-10s | %s@." "n" "mean(d)" "worst(d)"
+    "undecided";
+  List.iter
+    (fun n ->
+      let lats =
+        List.concat
+          (List.init seeds (fun i ->
+               let seed = Int64.of_int ((i * 7919) + 1) in
+               let faults =
+                 Sim.Fault.make
+                   ~initially_down:(Harness.Adversaries.faulty_minority ~n)
+                   []
+               in
+               let sc =
+                 Sim.Scenario.make ~name:"sweep" ~n ~ts ~delta ~seed
+                   ~network:network_policy ~faults ()
+               in
+               let live =
+                 Harness.Measure.procs ~n
+                   ~except:(Harness.Adversaries.faulty_minority ~n)
+                   ()
+               in
+               let r =
+                 match proto with
+                 | Modified_paxos ->
+                     let cfg = Dgl.Config.make ~n ~delta () in
+                     let r =
+                       Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg)
+                     in
+                     List.map
+                       (fun p ->
+                         match r.Sim.Engine.decision_times.(p) with
+                         | Some t -> (t -. ts) /. delta
+                         | None -> Float.infinity)
+                       live
+                 | Traditional_paxos ->
+                     let oracle =
+                       Baselines.Leader_election.make ~n ~ts ~delta ~faults ()
+                     in
+                     let r =
+                       Sim.Engine.run sc
+                         (Baselines.Traditional_paxos.protocol ~n ~delta
+                            ~oracle ())
+                     in
+                     List.map
+                       (fun p ->
+                         match r.Sim.Engine.decision_times.(p) with
+                         | Some t -> (t -. ts) /. delta
+                         | None -> Float.infinity)
+                       live
+                 | Rotating ->
+                     let r =
+                       Sim.Engine.run sc
+                         (Baselines.Rotating_coordinator.protocol ~n ~delta ())
+                     in
+                     List.map
+                       (fun p ->
+                         match r.Sim.Engine.decision_times.(p) with
+                         | Some t -> (t -. ts) /. delta
+                         | None -> Float.infinity)
+                       live
+                 | B_consensus ->
+                     let r =
+                       Sim.Engine.run sc
+                         (Bconsensus.Modified_b_consensus.protocol ~n ~delta
+                            ~rho:0. ())
+                     in
+                     List.map
+                       (fun p ->
+                         match r.Sim.Engine.decision_times.(p) with
+                         | Some t -> (t -. ts) /. delta
+                         | None -> Float.infinity)
+                       live
+                 | Smr ->
+                     failwith "sweep does not support -p smr (single-shot \
+                               consensus latencies only)"
+               in
+               r))
+      in
+      let finite = List.filter Float.is_finite lats in
+      let undecided = List.length lats - List.length finite in
+      match finite with
+      | [] -> Format.printf "  %-4d | %-10s | %-10s | %d@." n "-" "-" undecided
+      | _ ->
+          Format.printf "  %-4d | %-10.2f | %-10.1f | %d@." n
+            (Sim.Metrics.mean finite)
+            (List.fold_left Float.max 0. finite)
+            undecided)
+    sizes
+
+let sweep_cmd =
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 3; 5; 9; 17 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Cluster sizes to sweep.")
+  in
+  let seeds_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "seeds" ] ~docv:"K" ~doc:"Seeds per size.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Sweep cluster sizes for one protocol (faulty minority down, \
+          latency after TS in delta units).")
+    Term.(
+      const sweep_impl $ proto_arg $ sizes_arg $ seeds_arg $ delta_arg
+      $ ts_arg $ network_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check (bounded model checking)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_impl model gate max_session depth max_states =
+  let t0 = Unix.gettimeofday () in
+  match model with
+  | "paxos" ->
+      let cfg =
+        {
+          Mcheck.Model.n = 3;
+          proposals = [| 10; 20; 30 |];
+          max_session;
+          gate;
+        }
+      in
+      let o =
+        Mcheck.Explorer.run ~max_depth:depth cfg ~max_states
+          ~properties:
+            (if gate then Mcheck.Explorer.all_properties cfg
+             else Mcheck.Explorer.safety_properties cfg)
+      in
+      Format.printf "model: modified-paxos core, n=3, sessions <= %d, gate %s, depth <= %d@."
+        max_session
+        (if gate then "on" else "off")
+        depth;
+      Format.printf "%a (%.1fs)@." Mcheck.Explorer.pp_outcome o
+        (Unix.gettimeofday () -. t0)
+  | "b-consensus" ->
+      let cfg =
+        {
+          Mcheck.Bc_model.n = 3;
+          proposals = [| 10; 20; 30 |];
+          max_round = max_session;
+          mutation = None;
+        }
+      in
+      let key (st : Mcheck.Bc_model.state) =
+        ( Array.to_list st.Mcheck.Bc_model.procs,
+          Mcheck.Bc_model.Msgset.elements st.Mcheck.Bc_model.msgs )
+      in
+      let o =
+        Mcheck.Explore.run
+          ~initial:(Mcheck.Bc_model.initial cfg)
+          ~successors:(Mcheck.Bc_model.successors cfg)
+          ~key
+          ~properties:
+            [
+              ("agreement", Mcheck.Bc_model.agreement);
+              ("validity", fun st -> Mcheck.Bc_model.validity cfg st);
+              ("lock-uniqueness", Mcheck.Bc_model.lock_uniqueness);
+            ]
+          ~max_depth:depth ~max_states
+      in
+      Format.printf "model: b-consensus round core, n=3, rounds <= %d, depth <= %d@."
+        max_session depth;
+      (match o.Mcheck.Explore.violation with
+      | Some (name, st) ->
+          Format.printf "VIOLATION of %s at %a@." name Mcheck.Bc_model.pp_state
+            st
+      | None ->
+          Format.printf "%s: %d states, %d transitions, no violations@."
+            (if o.Mcheck.Explore.complete then "exhaustive"
+             else "bounded (cap hit)")
+            o.Mcheck.Explore.states o.transitions);
+      Format.printf "(%.1fs)@." (Unix.gettimeofday () -. t0)
+  | m -> failwith (Printf.sprintf "unknown model %S (paxos, b-consensus)" m)
+
+let check_cmd =
+  let gate_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "gate" ] ~docv:"BOOL"
+          ~doc:"Session gate on (the paper's algorithm) or off (ablation).")
+  in
+  let session_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "max-session" ] ~docv:"S" ~doc:"Session cap for the model.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "depth" ] ~docv:"D" ~doc:"Exploration depth bound.")
+  in
+  let states_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-states" ] ~docv:"K" ~doc:"State-count cap.")
+  in
+  let model_arg =
+    Arg.(
+      value & opt string "paxos"
+      & info [ "model" ] ~docv:"MODEL"
+          ~doc:
+            "$(b,paxos) (the session-gated core) or $(b,b-consensus) (the \
+             Section 5 round core; --max-session bounds rounds).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Bounded model checking of the protocol cores (time-free \
+          over-approximation; safety results transfer to all timed \
+          executions).")
+    Term.(
+      const check_impl $ model_arg $ gate_arg $ session_arg $ depth_arg
+      $ states_arg)
+
+(* ------------------------------------------------------------------ *)
+(* realtime                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let realtime_impl proto n delta ts seed =
+  let cfg =
+    {
+      Realtime.Threads_engine.n;
+      delta;
+      ts;
+      duration = ts +. Float.max 2.0 (200. *. delta);
+      pre_loss = 1.0;
+      seed;
+      faults = [];
+    }
+  in
+  let proposals = Array.init n (fun i -> 100 + i) in
+  let run p = Realtime.Threads_engine.run cfg ~proposals p in
+  let r =
+    match proto with
+    | Modified_paxos ->
+        run (Dgl.Modified_paxos.protocol (Dgl.Config.make ~n ~delta ()))
+    | B_consensus ->
+        run (Bconsensus.Modified_b_consensus.protocol ~n ~delta ~rho:0. ())
+    | Traditional_paxos | Rotating | Smr ->
+        failwith
+          "realtime supports -p modified-paxos and -p b-consensus (the \
+           leader oracle and workload plumbing are simulator-side)"
+  in
+  Format.printf
+    "real threads, wall clock: delta = %.0f ms, silent until %.0f ms@."
+    (delta *. 1000.) (ts *. 1000.);
+  Array.iteri
+    (fun p d ->
+      match d with
+      | Some (t, v) ->
+          Format.printf "  p%d decided %d at %4.0f ms (%.1f delta after ts)@."
+            p v (t *. 1000.)
+            ((t -. ts) /. delta)
+      | None -> Format.printf "  p%d: no decision by the deadline@." p)
+    r.Realtime.Threads_engine.decisions;
+  Format.printf "messages: %d sent, %d delivered, %d dropped@."
+    r.Realtime.Threads_engine.messages_sent r.messages_delivered
+    r.messages_dropped;
+  if r.Realtime.Threads_engine.agreement_violation then
+    Format.printf "AGREEMENT VIOLATION@."
+
+let realtime_cmd =
+  let delta_rt =
+    Arg.(
+      value & opt float 0.02
+      & info [ "delta" ] ~docv:"SECONDS"
+          ~doc:"Delivery bound; keep >= 10 ms for scheduler headroom.")
+  in
+  let ts_rt =
+    Arg.(
+      value & opt float 0.25
+      & info [ "ts" ] ~docv:"SECONDS" ~doc:"Stabilization instant.")
+  in
+  Cmd.v
+    (Cmd.info "realtime"
+       ~doc:
+         "Run the protocol over OS threads and wall-clock delays instead \
+          of the simulator.")
+    Term.(const realtime_impl $ proto_arg $ n_arg $ delta_rt $ ts_rt $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_impl () =
+  Format.printf "protocols:@.";
+  List.iter (fun (name, _) -> Format.printf "  %s@." name) protocols;
+  Format.printf "networks:@.";
+  List.iter (fun (name, _) -> Format.printf "  %s@." name) (networks 0.01);
+  Format.printf "experiments:@.";
+  List.iter (fun id -> Format.printf "  %s@." id) Harness.Experiments.ids
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List protocols, networks and experiments.")
+    Term.(const list_impl $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "consensus-sim" ~version:"1.0.0"
+       ~doc:
+         "Reproduction of \"How Fast Can Eventual Synchrony Lead to \
+          Consensus?\" (Dutta, Guerraoui, Lamport; DSN 2005).")
+    [ run_cmd; experiment_cmd; sweep_cmd; check_cmd; realtime_cmd; list_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/failover.ml: Baselines Bconsensus Dgl Format Harness List Sim

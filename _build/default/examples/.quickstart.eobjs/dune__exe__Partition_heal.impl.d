@@ -1,0 +1,1 @@
+examples/partition_heal.ml: Array Dgl Format Harness List Sim String

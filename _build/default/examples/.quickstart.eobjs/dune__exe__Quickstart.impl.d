@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dgl Format Harness List Sim

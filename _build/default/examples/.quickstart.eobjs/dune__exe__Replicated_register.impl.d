@@ -1,0 +1,1 @@
+examples/replicated_register.ml: Array Dgl Format Hashtbl List Sim Smr String

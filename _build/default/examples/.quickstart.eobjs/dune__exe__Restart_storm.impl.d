@@ -1,0 +1,1 @@
+examples/restart_storm.ml: Dgl Format Harness List Sim

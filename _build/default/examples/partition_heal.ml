@@ -1,0 +1,83 @@
+(* Partition heal: the session gate at work, with no injected messages.
+
+     dune exec examples/partition_heal.exe
+
+   Seven processes split into a majority side {0,1,2,3} and a minority
+   side {4,5,6}.  Until TS the sides cannot talk to each other.  The
+   paper's worry is exactly this kind of unstable period: timeout-driven
+   ballot growth that later forces a long reconciliation.
+
+   With the session gate (Start Phase 1's condition (ii)), the minority
+   side cannot advance past session 1 no matter how long the partition
+   lasts — advancing requires hearing a majority, and it has none.  The
+   majority side advances freely, but that is harmless: when the
+   partition heals, the minority jumps directly to the majority's
+   session (no intermediate sessions to traverse) and everyone decides
+   within O(delta) of the heal, independent of the partition's length.
+
+   For each partition length we first probe the state at the instant of
+   healing (sessions per side), then run to completion and measure the
+   reconciliation cost. *)
+
+let n = 7
+
+let delta = 0.01
+
+let seed = 11L
+
+let majority_side = [ 0; 1; 2; 3 ]
+
+let minority_side = [ 4; 5; 6 ]
+
+let network =
+  Sim.Network.partitioned_until_ts [ majority_side; minority_side ]
+
+let session_of (r : _ Sim.Engine.run_result) p =
+  match r.Sim.Engine.final_states.(p) with
+  | Some st -> string_of_int (Dgl.Modified_paxos.session_number st)
+  | None -> "-"
+
+let run ~partition_length =
+  let ts = partition_length in
+  let cfg = Dgl.Config.make ~n ~delta () in
+  (* Probe: freeze the world at the instant the partition heals. *)
+  let probe =
+    Sim.Engine.run
+      (Sim.Scenario.make ~name:"partition-probe" ~n ~ts ~delta ~seed ~network
+         ~horizon:ts ~stop_on_all_decided:false ())
+      (Dgl.Modified_paxos.protocol cfg)
+  in
+  let sessions side =
+    String.concat " " (List.map (session_of probe) side)
+  in
+  (* Full run: how long after the heal until everyone decides? *)
+  let r =
+    Sim.Engine.run
+      (Sim.Scenario.make ~name:"partition" ~n ~ts ~delta ~seed ~network ())
+      (Dgl.Modified_paxos.protocol cfg)
+  in
+  let worst =
+    Harness.Measure.worst_latency r
+      ~procs:(List.init n (fun i -> i))
+      ~from_time:ts ~delta
+  in
+  Format.printf
+    "partition %4.0f delta: sessions at heal: majority [%s], minority [%s]; \
+     all decide %.1f delta after heal (%s)@."
+    (partition_length /. delta)
+    (sessions majority_side) (sessions minority_side) worst
+    (match Harness.Measure.check_safety r with
+    | Ok () -> "safe"
+    | Error m -> "UNSAFE: " ^ m)
+
+let () =
+  Format.printf
+    "majority side %s vs minority side %s; partition heals at TS@.@."
+    (String.concat "," (List.map string_of_int majority_side))
+    (String.concat "," (List.map string_of_int minority_side));
+  List.iter (fun len -> run ~partition_length:len) [ 0.25; 0.5; 1.0; 2.0; 4.0 ];
+  Format.printf
+    "@.The minority is pinned at session 1 by the gate (it never hears a \
+     majority), while the majority side advances freely; healing cost \
+     stays O(delta) regardless of the partition's duration because the \
+     minority jumps straight to the current session.@."

@@ -1,0 +1,1 @@
+lib/baselines/heartbeat_omega.ml: Array Consensus Float Printf Sim Types

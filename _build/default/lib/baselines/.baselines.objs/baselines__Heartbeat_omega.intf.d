@@ -1,0 +1,1 @@
+lib/baselines/heartbeat_omega.mli: Consensus Sim Types

@@ -1,0 +1,1 @@
+lib/baselines/leader_election.ml: Float Sim

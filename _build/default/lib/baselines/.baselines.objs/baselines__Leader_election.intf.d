@@ -1,0 +1,1 @@
+lib/baselines/leader_election.mli: Consensus Sim

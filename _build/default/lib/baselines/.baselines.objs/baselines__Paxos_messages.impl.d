@@ -1,0 +1,1 @@
+lib/baselines/paxos_messages.ml: Ballot Consensus Format Printf Types Vote

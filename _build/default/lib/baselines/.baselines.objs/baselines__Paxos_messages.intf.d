@@ -1,0 +1,1 @@
+lib/baselines/paxos_messages.mli: Ballot Consensus Types Vote

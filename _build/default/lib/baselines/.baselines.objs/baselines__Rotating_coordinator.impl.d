@@ -1,0 +1,1 @@
+lib/baselines/rotating_coordinator.ml: Consensus Int Map Quorum Rotating_messages Sim Types

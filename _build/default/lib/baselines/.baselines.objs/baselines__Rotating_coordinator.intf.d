@@ -1,0 +1,1 @@
+lib/baselines/rotating_coordinator.mli: Consensus Rotating_messages Sim Types

@@ -1,0 +1,1 @@
+lib/baselines/rotating_messages.ml: Consensus Printf Types

@@ -1,0 +1,1 @@
+lib/baselines/rotating_messages.mli: Consensus Types

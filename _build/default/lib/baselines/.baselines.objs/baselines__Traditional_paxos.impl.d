@@ -1,0 +1,1 @@
+lib/baselines/traditional_paxos.ml: Ballot Consensus Int Leader_election Map Paxos_messages Quorum Sim Stdlib Types Vote

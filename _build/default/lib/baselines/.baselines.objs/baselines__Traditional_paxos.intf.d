@@ -1,0 +1,1 @@
+lib/baselines/traditional_paxos.mli: Ballot Consensus Leader_election Paxos_messages Sim Types

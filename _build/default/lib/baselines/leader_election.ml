@@ -1,0 +1,32 @@
+type t = {
+  n : int;
+  stable_from : Sim.Sim_time.t;
+  stable_leader : int;
+  rotation_period : float;
+}
+
+let make ?stabilize_delay ~n ~ts ~delta ~faults () =
+  if n <= 0 then invalid_arg "Leader_election.make: n must be positive";
+  let stabilize_delay =
+    match stabilize_delay with Some d -> d | None -> delta
+  in
+  let alive = Sim.Fault.alive_set faults ~n ~time:ts in
+  let stable_leader = match alive with [] -> 0 | p :: _ -> p in
+  {
+    n;
+    stable_from = ts +. stabilize_delay;
+    stable_leader;
+    rotation_period = delta;
+  }
+
+let fixed p =
+  { n = p + 1; stable_from = 0.; stable_leader = p; rotation_period = 1. }
+
+let leader_at t ~now =
+  if now >= t.stable_from then t.stable_leader
+  else
+    (* Unstable period: nominations rotate, as a timeout-based election
+       does while messages are being lost. *)
+    int_of_float (Float.rem (now /. t.rotation_period) (float_of_int t.n))
+
+let stable_from t = t.stable_from

@@ -1,0 +1,36 @@
+(** Leader-election oracle assumed by traditional Paxos (Section 2).
+
+    The paper grants traditional Paxos "a leader-election procedure whose
+    correct operation is required only to ensure progress, not safety"
+    and that is "guaranteed to choose a unique, nonfaulty leader within
+    O(delta) seconds after the system is stable".  We model it as a
+    function of real time: before [ts + stabilize_delay] it may nominate
+    anyone (we rotate, which is the realistic failure mode of timeout-
+    based election under message loss); afterwards it returns the
+    lowest-id process alive at [ts] forever.
+
+    Safety of Paxos never depends on this oracle, which is why modelling
+    it as an omniscient function is sound: it can only affect {e when}
+    decisions happen. *)
+
+type t
+
+(** [make ~n ~ts ~delta ~faults ()] builds the oracle described above.
+    [stabilize_delay] defaults to [delta]. *)
+val make :
+  ?stabilize_delay:float ->
+  n:int ->
+  ts:Sim.Sim_time.t ->
+  delta:float ->
+  faults:Sim.Fault.t ->
+  unit ->
+  t
+
+(** An oracle that always returns [p] (for unit tests). *)
+val fixed : int -> t
+
+(** Who the oracle nominates at real time [now]. *)
+val leader_at : t -> now:Sim.Sim_time.t -> Consensus.Types.proc_id
+
+(** First time at or after [ts] from which the nomination is stable. *)
+val stable_from : t -> Sim.Sim_time.t

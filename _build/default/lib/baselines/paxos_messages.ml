@@ -1,0 +1,18 @@
+open Consensus
+
+type t =
+  | P1a of { mbal : Ballot.t }
+  | P1b of { mbal : Ballot.t; vote : Vote.t }
+  | P2a of { mbal : Ballot.t; value : Types.value }
+  | P2b of { mbal : Ballot.t; value : Types.value }
+  | Rejected of { mbal : Ballot.t }
+  | Decision of { value : Types.value }
+
+let info = function
+  | P1a { mbal } -> Printf.sprintf "1a(b%d)" mbal
+  | P1b { mbal; vote } ->
+      Printf.sprintf "1b(b%d,%s)" mbal (Format.asprintf "%a" Vote.pp vote)
+  | P2a { mbal; value } -> Printf.sprintf "2a(b%d,v%d)" mbal value
+  | P2b { mbal; value } -> Printf.sprintf "2b(b%d,v%d)" mbal value
+  | Rejected { mbal } -> Printf.sprintf "rejected(b%d)" mbal
+  | Decision { value } -> Printf.sprintf "decision(v%d)" value

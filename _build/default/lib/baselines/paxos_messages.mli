@@ -1,0 +1,16 @@
+(** Wire messages of traditional Paxos (Section 2), including the
+    [Rejected] message the modified algorithm removes. *)
+
+open Consensus
+
+type t =
+  | P1a of { mbal : Ballot.t }
+  | P1b of { mbal : Ballot.t; vote : Vote.t }
+  | P2a of { mbal : Ballot.t; value : Types.value }
+  | P2b of { mbal : Ballot.t; value : Types.value }
+  | Rejected of { mbal : Ballot.t }
+      (** carries the rejecting process's (higher) ballot, sent to the
+          owner of the rejected message's ballot *)
+  | Decision of { value : Types.value }
+
+val info : t -> string

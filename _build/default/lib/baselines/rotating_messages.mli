@@ -1,0 +1,21 @@
+(** Wire messages of the rotating-coordinator round-based algorithm. *)
+
+open Consensus
+
+type t =
+  | Estimate of { round : int; est : Types.value; ts : int }
+      (** broadcast on round entry (and re-sent every epsilon): the
+          process's current estimate and the round that locked it; also
+          serves as the round-presence announcement used by the
+          majority gate *)
+  | Propose of { round : int; value : Types.value }
+      (** the round's coordinator proposes the max-ts estimate of a
+          majority *)
+  | Ack of { round : int; value : Types.value }
+      (** broadcast after adopting a proposal; a majority of acks for one
+          round decides *)
+  | Decision of { value : Types.value }
+
+val round_of : t -> int option
+
+val info : t -> string

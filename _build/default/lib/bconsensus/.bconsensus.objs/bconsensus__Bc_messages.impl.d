@@ -1,0 +1,1 @@
+lib/bconsensus/bc_messages.ml: Consensus Format Logical_clock Printf Types

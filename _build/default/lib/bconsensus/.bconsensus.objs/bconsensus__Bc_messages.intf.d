@@ -1,0 +1,1 @@
+lib/bconsensus/bc_messages.mli: Consensus Logical_clock Types

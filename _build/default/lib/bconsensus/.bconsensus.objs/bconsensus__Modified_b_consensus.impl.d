@@ -1,0 +1,1 @@
+lib/bconsensus/modified_b_consensus.ml: Bc_messages Consensus Float List Ordering_oracle Quorum Sim Types

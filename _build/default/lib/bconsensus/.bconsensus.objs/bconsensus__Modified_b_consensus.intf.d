@@ -1,0 +1,1 @@
+lib/bconsensus/modified_b_consensus.mli: Bc_messages Consensus Sim Types

@@ -1,0 +1,1 @@
+lib/bconsensus/ordering_oracle.ml: Consensus List Logical_clock Stdlib Types

@@ -1,0 +1,1 @@
+lib/bconsensus/ordering_oracle.mli: Consensus Logical_clock Types

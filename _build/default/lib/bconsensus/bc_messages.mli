@@ -1,0 +1,19 @@
+(** Wire messages of the modified B-Consensus algorithm. *)
+
+open Consensus
+
+type t =
+  | First of { stamp : Logical_clock.stamp; round : int; value : Types.value }
+      (** stage 1, sent through the ordering oracle: the sender's current
+          estimate, stamped with its logical clock *)
+  | Report of { round : int; value : Types.value }
+      (** stage 2a: the value of the first oracle-delivered [First] of
+          this round *)
+  | Lock of { round : int; value : Types.value option }
+      (** stage 2b: [Some v] after collecting a majority of identical
+          reports, [None] (the Ben-Or "?") otherwise *)
+  | Decision of { value : Types.value }
+
+val round_of : t -> int option
+
+val info : t -> string

@@ -1,0 +1,56 @@
+open Consensus
+
+type 'a held = {
+  stamp : Logical_clock.stamp;
+  release_local : float;
+  payload : 'a;
+}
+
+type 'a t = {
+  owner : Types.proc_id;
+  hold_local : float;
+  counter : int;
+  pending : 'a held list;  (* sorted by stamp, ascending *)
+}
+
+let create ~owner ~hold_local =
+  if hold_local < 0. then
+    invalid_arg "Ordering_oracle.create: negative hold-back";
+  { owner; hold_local; counter = 0; pending = [] }
+
+let next_stamp t =
+  let counter = t.counter + 1 in
+  ( { t with counter },
+    { Logical_clock.counter; origin = t.owner } )
+
+let insert_sorted held pending =
+  let rec go = function
+    | [] -> [ held ]
+    | h :: rest ->
+        if Logical_clock.compare_stamp held.stamp h.stamp < 0 then
+          held :: h :: rest
+        else h :: go rest
+  in
+  go pending
+
+let receive t ~now_local ~stamp payload =
+  let counter = Stdlib.max t.counter stamp.Logical_clock.counter in
+  let release_local = now_local +. t.hold_local in
+  let held = { stamp; release_local; payload } in
+  ( { t with counter; pending = insert_sorted held t.pending },
+    release_local )
+
+let due t ~now_local =
+  (* Walk from the smallest stamp; stop at the first message still under
+     hold-back — everything behind it must wait to preserve order. *)
+  let rec split acc = function
+    | h :: rest when h.release_local <= now_local ->
+        split ((h.stamp, h.payload) :: acc) rest
+    | rest -> (List.rev acc, rest)
+  in
+  let ready, pending = split [] t.pending in
+  ({ t with pending }, ready)
+
+let pending_count t = List.length t.pending
+
+let clock t = t.counter

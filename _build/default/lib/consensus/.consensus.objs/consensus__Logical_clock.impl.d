@@ -1,0 +1,1 @@
+lib/consensus/logical_clock.ml: Format Int Types

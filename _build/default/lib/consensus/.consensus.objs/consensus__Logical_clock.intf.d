@@ -1,0 +1,1 @@
+lib/consensus/logical_clock.mli: Format Types

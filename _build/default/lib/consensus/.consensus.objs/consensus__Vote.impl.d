@@ -1,0 +1,1 @@
+lib/consensus/vote.ml: Ballot Format List Types

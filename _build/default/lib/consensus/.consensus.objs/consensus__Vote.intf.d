@@ -1,0 +1,1 @@
+lib/consensus/vote.mli: Ballot Format Types

@@ -1,0 +1,35 @@
+type t = int
+
+let initial ~proc = proc
+
+let check_n n = if n <= 0 then invalid_arg "Ballot: n must be positive"
+
+let owner ~n b =
+  check_n n;
+  if b < 0 then invalid_arg "Ballot.owner: negative ballot";
+  b mod n
+
+let session ~n b =
+  check_n n;
+  if b < 0 then invalid_arg "Ballot.session: negative ballot";
+  b / n
+
+let of_session ~n ~proc s =
+  check_n n;
+  if proc < 0 || proc >= n then invalid_arg "Ballot.of_session: bad proc";
+  if s < 0 then invalid_arg "Ballot.of_session: negative session";
+  (s * n) + proc
+
+let next_session ~n ~proc b = of_session ~n ~proc (session ~n b + 1)
+
+let succ_owned ~n ~proc b =
+  check_n n;
+  if proc < 0 || proc >= n then invalid_arg "Ballot.succ_owned: bad proc";
+  let candidate = of_session ~n ~proc (session ~n b) in
+  if candidate > b then candidate else candidate + n
+
+let none = -1
+
+let compare = Int.compare
+
+let pp fmt b = Format.fprintf fmt "b%d" b

@@ -1,0 +1,42 @@
+(** Ballot-number arithmetic.
+
+    Ballots are natural numbers partitioned by ownership and grouped into
+    sessions:
+    - the {e owner} of ballot [b] is process [b mod n] — only the owner
+      may start phase 1 with [b];
+    - the {e session} of [b] is [b / n] (the paper's [⌊b/N⌋]).
+
+    The initial ballot of process [p] is [p] itself (session 0), matching
+    the paper's initial condition [mbal[p] = p]. *)
+
+type t = int
+
+(** Ballot [p] — process [p]'s initial ballot. *)
+val initial : proc:Types.proc_id -> t
+
+(** [owner ~n b] is [b mod n]. *)
+val owner : n:int -> t -> Types.proc_id
+
+(** [session ~n b] is [b / n]. *)
+val session : n:int -> t -> int
+
+(** [next_session ~n ~proc b] is [(session b + 1) * n + proc]: the ballot
+    the Start Phase 1 action of the modified algorithm moves to — it
+    advances the session by exactly one and is owned by [proc]. *)
+val next_session : n:int -> proc:Types.proc_id -> t -> t
+
+(** [of_session ~n ~proc s] is the ballot of session [s] owned by
+    [proc]: [s * n + proc]. *)
+val of_session : n:int -> proc:Types.proc_id -> int -> t
+
+(** [succ_owned ~n ~proc b] is the smallest ballot strictly greater than
+    [b] that is owned by [proc] — how traditional Paxos picks a fresh
+    ballot after seeing [b]. *)
+val succ_owned : n:int -> proc:Types.proc_id -> t -> t
+
+(** No ballot yet (compares below every real ballot). *)
+val none : t
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+type stamp = { counter : int; origin : Types.proc_id }
+
+type t = { owner : Types.proc_id; mutable counter : int }
+
+let create ~owner = { owner; counter = 0 }
+
+let tick t =
+  t.counter <- t.counter + 1;
+  { counter = t.counter; origin = t.owner }
+
+let observe t (stamp : stamp) =
+  if stamp.counter > t.counter then t.counter <- stamp.counter
+
+let current t = t.counter
+
+let compare_stamp (a : stamp) (b : stamp) =
+  let c = Int.compare a.counter b.counter in
+  if c <> 0 then c else Int.compare a.origin b.origin
+
+let pp_stamp fmt (s : stamp) = Format.fprintf fmt "%d.%d" s.counter s.origin

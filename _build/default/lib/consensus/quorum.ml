@@ -1,0 +1,29 @@
+let majority n =
+  if n <= 0 then invalid_arg "Quorum.majority: n must be positive";
+  (n / 2) + 1
+
+let is_quorum ~n k = k >= majority n
+
+type t = { n : int; members : Types.Pset.t }
+
+let create ~n =
+  if n <= 0 then invalid_arg "Quorum.create: n must be positive";
+  { n; members = Types.Pset.empty }
+
+let add t p =
+  if p < 0 || p >= t.n then invalid_arg "Quorum.add: process id out of range";
+  { t with members = Types.Pset.add p t.members }
+
+let mem t p = Types.Pset.mem p t.members
+
+let count t = Types.Pset.cardinal t.members
+
+let reached t = is_quorum ~n:t.n (count t)
+
+let members t = t.members
+
+let of_list ~n ps = List.fold_left add (create ~n) ps
+
+let pp fmt t =
+  Format.fprintf fmt "%a (%d/%d)" Types.Pset.pp t.members (count t)
+    (majority t.n)

@@ -1,0 +1,33 @@
+(** Majority quorums.
+
+    The paper assumes a majority of processes is nonfaulty at [TS]; every
+    quorum-gated step (phase-1b collection, phase-2b decision, session
+    advancement, round advancement) uses the strict majority
+    [floor (n/2) + 1], which guarantees any two quorums intersect. *)
+
+(** [majority n] is [n/2 + 1].  Requires [n > 0]. *)
+val majority : int -> int
+
+(** [is_quorum ~n k] is [k >= majority n]. *)
+val is_quorum : n:int -> int -> bool
+
+(** Immutable tracker of which processes have been counted toward a
+    quorum.  Adding the same process twice is idempotent. *)
+type t
+
+val create : n:int -> t
+
+val add : t -> Types.proc_id -> t
+
+val mem : t -> Types.proc_id -> bool
+
+val count : t -> int
+
+val reached : t -> bool
+
+val members : t -> Types.Pset.t
+
+(** [of_list ~n ps] folds [add]. *)
+val of_list : n:int -> Types.proc_id list -> t
+
+val pp : Format.formatter -> t -> unit

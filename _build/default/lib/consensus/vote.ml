@@ -1,0 +1,20 @@
+type t = { vbal : Ballot.t; vval : Types.value }
+
+let none = { vbal = Ballot.none; vval = Types.no_value }
+
+let is_none t = t.vbal = Ballot.none
+
+let make ~vbal ~vval = { vbal; vval }
+
+let max_vote votes =
+  List.fold_left
+    (fun best v -> if Ballot.compare v.vbal best.vbal > 0 then v else best)
+    none votes
+
+let choose ~fallback votes =
+  let best = max_vote votes in
+  if is_none best then fallback else best.vval
+
+let pp fmt t =
+  if is_none t then Format.pp_print_string fmt "vote:none"
+  else Format.fprintf fmt "vote{%a=%d}" Ballot.pp t.vbal t.vval

@@ -1,0 +1,1 @@
+lib/dgl/config.ml: Float Format Printf

@@ -1,0 +1,1 @@
+lib/dgl/config.mli: Format

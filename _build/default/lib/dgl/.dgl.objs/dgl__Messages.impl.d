@@ -1,0 +1,1 @@
+lib/dgl/messages.ml: Ballot Consensus Format Printf Types Vote

@@ -1,0 +1,1 @@
+lib/dgl/messages.mli: Ballot Consensus Types Vote

@@ -1,0 +1,1 @@
+lib/dgl/modified_paxos.ml: Ballot Config Consensus Int Map Messages Printf Quorum Session Sim Types Vote

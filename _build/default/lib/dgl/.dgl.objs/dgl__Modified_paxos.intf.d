@@ -1,0 +1,1 @@
+lib/dgl/modified_paxos.mli: Ballot Config Consensus Messages Sim Types Vote

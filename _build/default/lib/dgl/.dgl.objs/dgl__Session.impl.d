@@ -1,0 +1,1 @@
+lib/dgl/session.ml: Consensus Format Quorum

@@ -1,0 +1,1 @@
+lib/dgl/session.mli: Consensus Format Quorum Types

@@ -1,0 +1,47 @@
+type t = {
+  n : int;
+  delta : float;
+  sigma : float;
+  epsilon : float;
+  rho : float;
+  timer_local : float;
+  broadcast_decision : bool;
+}
+
+let make ?sigma ?epsilon ?(rho = 0.) ?(broadcast_decision = false) ~n ~delta
+    () =
+  if n <= 0 then invalid_arg "Dgl.Config.make: n must be positive";
+  if delta <= 0. then invalid_arg "Dgl.Config.make: delta must be positive";
+  if rho < 0. || rho >= 1. then
+    invalid_arg "Dgl.Config.make: rho must be in [0, 1)";
+  let sigma = match sigma with Some s -> s | None -> 5. *. delta in
+  let epsilon = match epsilon with Some e -> e | None -> delta /. 4. in
+  if epsilon <= 0. then invalid_arg "Dgl.Config.make: epsilon must be positive";
+  if sigma < 4. *. delta then
+    invalid_arg "Dgl.Config.make: sigma must be at least 4 * delta";
+  (* A local timer of duration [d] elapses in real time within
+     [d / (1 + rho), d / (1 - rho)].  We need that interval inside
+     [4 delta, sigma]; the midpoint of the feasible local range maximises
+     slack on both sides. *)
+  let lo = 4. *. delta *. (1. +. rho) in
+  let hi = sigma *. (1. -. rho) in
+  if lo > hi then
+    invalid_arg
+      (Printf.sprintf
+         "Dgl.Config.make: infeasible timer window: 4*delta*(1+rho)=%.6f > \
+          sigma*(1-rho)=%.6f"
+         lo hi);
+  let timer_local = (lo +. hi) /. 2. in
+  { n; delta; sigma; epsilon; rho; timer_local; broadcast_decision }
+
+let tau t = Float.max ((2. *. t.delta) +. t.epsilon) t.sigma
+
+let decision_bound t = t.epsilon +. (3. *. tau t) +. (5. *. t.delta)
+
+let restart_bound t = tau t +. (6. *. t.delta)
+
+let pp fmt t =
+  Format.fprintf fmt
+    "dgl-config{n=%d; delta=%.4f; sigma=%.4f; eps=%.4f; rho=%.3f; \
+     timer=%.4f; bound=%.4f}"
+    t.n t.delta t.sigma t.epsilon t.rho t.timer_local (decision_bound t)

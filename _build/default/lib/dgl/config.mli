@@ -1,0 +1,64 @@
+(** Parameters of the modified Paxos algorithm (Section 4).
+
+    The algorithm knows the post-stabilization delivery bound [delta]
+    (the paper argues knowing it is necessary for an O(delta) bound), the
+    clock-rate error bound [rho], and two tuning knobs:
+
+    - [sigma >= 4 delta]: upper end of the session-timeout window.  On
+      entering a session a process arms a timer that — once the system is
+      stable — fires between [4 delta] and [sigma] real seconds later.
+    - [epsilon > 0]: a process that has sent no phase 1a or 2a message
+      for [epsilon] seconds sends a phase 1a with its current ballot.
+
+    Derived quantities reproduce the paper's analysis: with
+    [tau = max (2 delta + epsilon) sigma], every process nonfaulty at
+    [TS] decides by [TS + epsilon + 3 tau + 5 delta] (about [17 delta]
+    when [sigma ~ 4 delta] and [epsilon << delta]). *)
+
+type t = private {
+  n : int;
+  delta : float;
+  sigma : float;
+  epsilon : float;
+  rho : float;
+  timer_local : float;
+      (** local-clock duration armed for the session timer; chosen so the
+          real duration lands in [[4 delta, sigma]] for every admissible
+          clock rate *)
+  broadcast_decision : bool;
+      (** optimization from the paper: deciders periodically broadcast
+          their decision so late joiners catch up faster (off by default;
+          the headline bound does not rely on it) *)
+}
+
+(** [make ~n ~delta ()] — defaults: [sigma = 5 delta],
+    [epsilon = delta /. 4.], [rho = 0.], [broadcast_decision = false].
+
+    Raises [Invalid_argument] when the timer window is infeasible, i.e.
+    [4 delta (1 + rho) > sigma (1 - rho)], or any parameter is out of
+    range. *)
+val make :
+  ?sigma:float ->
+  ?epsilon:float ->
+  ?rho:float ->
+  ?broadcast_decision:bool ->
+  n:int ->
+  delta:float ->
+  unit ->
+  t
+
+(** [tau cfg = max (2 delta + epsilon) sigma] — the paper's session-turnover
+    period. *)
+val tau : t -> float
+
+(** The paper's worst-case decision bound after stabilization:
+    [epsilon + 3 tau + 5 delta]. *)
+val decision_bound : t -> float
+
+(** Bound on how long after its restart a process that restarts after
+    [TS + decision_bound] waits to decide: a fresh session starts every
+    [tau] and completes within [5 delta] (Section 4, "Process Restarts"),
+    plus one [delta] for the in-flight session to reach the newcomer. *)
+val restart_bound : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** Wire messages of the modified Paxos algorithm.
+
+    Identical to traditional Paxos minus the [Rejected] message (the
+    modified algorithm replaces rejection with session timeouts), plus an
+    optional [Decision] announcement. *)
+
+open Consensus
+
+type t =
+  | P1a of { mbal : Ballot.t }
+      (** "prepare": treated as sent by [owner mbal] regardless of which
+          process relayed it (processes gossip 1a messages on session
+          entry and every [epsilon] seconds) *)
+  | P1b of { mbal : Ballot.t; vote : Vote.t }
+      (** "promise" to [owner mbal], reporting the highest accepted vote *)
+  | P2a of { mbal : Ballot.t; value : Types.value }  (** "accept?" *)
+  | P2b of { mbal : Ballot.t; value : Types.value }
+      (** "accepted", sent to every process *)
+  | Decision of { value : Types.value }
+      (** optional decision gossip (config flag) *)
+
+(** Ballot carried by the message ([None] for [Decision]). *)
+val mbal : t -> Ballot.t option
+
+(** The process this message counts as "heard from" for the
+    majority-in-session rule: the actual transport-level sender ([None]
+    for [Decision], which carries no ballot).  Note the distinction from
+    the paper's parenthetical "any phase 1a message m is treated as if it
+    were sent by process [m.mbal mod N]": that rule governs the {e Paxos
+    role} of a relayed 1a (in particular, where the 1b answer goes — see
+    the proof of step 2, where a process must receive "phase 1a messages
+    from every process in W" even though they all relay the same
+    ballot), not whom the message counts as contact with. *)
+val session_sender : n:int -> src:Types.proc_id -> t -> Types.proc_id option
+
+val info : t -> string

@@ -1,0 +1,21 @@
+open Consensus
+
+type t = { n : int; number : int; heard : Quorum.t; timer_expired : bool }
+
+let initial ~n =
+  { n; number = 0; heard = Quorum.create ~n; timer_expired = false }
+
+let enter t ~number =
+  if number <= t.number then invalid_arg "Session.enter: not a later session";
+  { t with number; heard = Quorum.create ~n:t.n; timer_expired = false }
+
+let hear t p = { t with heard = Quorum.add t.heard p }
+
+let expire t = { t with timer_expired = true }
+
+let can_start_phase1 t =
+  t.timer_expired && (t.number = 0 || Quorum.reached t.heard)
+
+let pp fmt t =
+  Format.fprintf fmt "session{%d; heard=%a; expired=%b}" t.number Quorum.pp
+    t.heard t.timer_expired

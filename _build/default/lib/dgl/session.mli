@@ -1,0 +1,41 @@
+(** Session bookkeeping for the modified Paxos algorithm.
+
+    A process is in session [⌊mbal/N⌋].  The Start Phase 1 action — the
+    only way a process raises its own ballot — is enabled exactly when
+
+    (i) the session timer (armed on session entry to fire between
+        [4 delta] and [sigma] real seconds later) has expired, and
+    (ii) the process is in session 0, or it has received a message
+         carrying its current session from a majority of processes.
+
+    Rule (ii) is the mechanism that bounds obsolete ballots: a failed
+    process can be at most one session ahead of every majority, so
+    messages from before stabilization can never carry a session more
+    than [s0 + 1] (step 1 of the paper's proof). *)
+
+open Consensus
+
+type t = private {
+  n : int;  (** total number of processes *)
+  number : int;  (** current session = [⌊mbal/N⌋] *)
+  heard : Quorum.t;  (** processes heard from in this session *)
+  timer_expired : bool;
+}
+
+(** Session 0 with an armed (unexpired) timer and nobody heard. *)
+val initial : n:int -> t
+
+(** Enter session [number]: fresh heard-set, timer re-armed.
+    Requires [number > current]. *)
+val enter : t -> number:int -> t
+
+(** Record a message from [p] carrying the current session. *)
+val hear : t -> Types.proc_id -> t
+
+(** Mark the session timer as expired. *)
+val expire : t -> t
+
+(** Condition (i) && (ii) above. *)
+val can_start_phase1 : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/harness/adversaries.ml: Baselines Consensus Dgl List

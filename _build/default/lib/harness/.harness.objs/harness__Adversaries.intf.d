@@ -1,0 +1,1 @@
+lib/harness/adversaries.mli: Baselines Dgl Sim

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Adversaries Array Baselines Bconsensus Consensus Dgl Float Fun Hashtbl List Measure Printf Report Sim Smr String

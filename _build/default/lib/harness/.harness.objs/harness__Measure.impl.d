@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Array Float Int64 List Printf Sim

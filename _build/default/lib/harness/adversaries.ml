@@ -1,0 +1,45 @@
+(* The paper allows up to ceil(n/2) - 1 faulty processes, i.e. everything
+   beyond a bare majority: n - majority(n). *)
+let faulty_minority ~n =
+  let k = n - Consensus.Quorum.majority n in
+  List.init k (fun i -> n - 1 - i)
+
+let fan ~n ~victims ~make_msg ~from ~spacing =
+  List.concat
+    (List.mapi
+       (fun i v ->
+         let at = from +. (spacing *. float_of_int i) in
+         let msg = make_msg ~index:i ~victim:v in
+         List.filter_map
+           (fun dst ->
+             if List.mem dst victims then None else Some (at, v, dst, msg))
+           (List.init n (fun d -> d)))
+       victims)
+
+let dgl_session1_injections ~n ~from ~spacing ~victims =
+  fan ~n ~victims ~from ~spacing ~make_msg:(fun ~index:_ ~victim ->
+      Dgl.Messages.P1a { mbal = n + victim })
+
+let dgl_high_session_injections ~n ~from ~spacing ~victims =
+  fan ~n ~victims ~from ~spacing ~make_msg:(fun ~index ~victim ->
+      Dgl.Messages.P1a { mbal = (1000 * (index + 1) * n) + victim })
+
+let traditional_first_start ~ts ~theta ~stabilize_delay =
+  let stable = ts +. stabilize_delay in
+  ceil (stable /. theta) *. theta
+
+let paxos_aligned_injections ~n ~delta ~t0 ~leader ~victims =
+  List.concat
+    (List.mapi
+       (fun i v ->
+         (* Ballot far above anything the leader will have picked by then;
+            strictly increasing across injections. *)
+         let b = (1000 * (i + 1) * n) + v in
+         (* Mid-phase-2 of retry i: the leader's 2a is in flight. *)
+         let at = t0 +. (2. *. delta) +. (4. *. delta *. float_of_int i) in
+         List.filter_map
+           (fun dst ->
+             if List.mem dst victims || dst = leader then None
+             else Some (at, v, dst, Baselines.Paxos_messages.P1a { mbal = b }))
+           (List.init n (fun d -> d)))
+       victims)

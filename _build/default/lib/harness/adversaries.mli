@@ -1,0 +1,56 @@
+(** Worst-case adversary constructions used by the experiments.
+
+    The paper's negative results are about what an adversary can do with
+    messages sent before [TS] by processes that have since failed.
+    Rather than simulating the pre-[TS] execution that generated such
+    messages, the experiments inject them directly as in-flight
+    deliveries (see {!Sim.Engine.run}'s [injections]); these builders
+    construct the injection schedules. *)
+
+(** The [⌈n/2⌉ - 1] highest process ids — the largest set the model
+    allows to be faulty. *)
+val faulty_minority : n:int -> int list
+
+(** Obsolete messages admissible against the {e modified} algorithm:
+    the session gate caps failed processes at one session beyond the
+    stable majority, so the strongest injectable ballots have session 1
+    (everyone is in session 0 at boot).  One phase 1a per victim, fanned
+    to every live process, [spacing] seconds apart starting at [from]. *)
+val dgl_session1_injections :
+  n:int ->
+  from:Sim.Sim_time.t ->
+  spacing:float ->
+  victims:int list ->
+  (Sim.Sim_time.t * int * int * Dgl.Messages.t) list
+
+(** Unbounded-session ballots (sessions 1000, 2000, ...): impossible
+    under the gate, admissible without it — the A1 ablation feeds these
+    to the ungated variant. *)
+val dgl_high_session_injections :
+  n:int ->
+  from:Sim.Sim_time.t ->
+  spacing:float ->
+  victims:int list ->
+  (Sim.Sim_time.t * int * int * Dgl.Messages.t) list
+
+(** The E2 worst case for traditional Paxos: with the deterministic
+    network ({!Sim.Network.deterministic_after_ts}) the leader's
+    reject-and-retry cycle is exactly [4 delta] long, so obsolete ballot
+    [i] is timed to land on every follower in the middle of phase 2 of
+    retry [i].  [t0] must be the leader's first post-stability Start
+    Phase 1 instant (see {!traditional_first_start}). *)
+val paxos_aligned_injections :
+  n:int ->
+  delta:float ->
+  t0:Sim.Sim_time.t ->
+  leader:int ->
+  victims:int list ->
+  (Sim.Sim_time.t * int * int * Baselines.Paxos_messages.t) list
+
+(** First tick at which the (stable) leader of
+    {!Baselines.Traditional_paxos} re-runs Start Phase 1 after the
+    oracle stabilizes: the first multiple of [theta] at or after
+    [ts + stabilize_delay].  Assumes drift-free clocks (the E2 scenario
+    sets [rho = 0]). *)
+val traditional_first_start :
+  ts:Sim.Sim_time.t -> theta:float -> stabilize_delay:float -> Sim.Sim_time.t

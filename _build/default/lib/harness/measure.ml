@@ -1,0 +1,45 @@
+let latencies r ~procs ~from_time ~delta =
+  List.map
+    (fun p ->
+      match r.Sim.Engine.decision_times.(p) with
+      | Some t -> (t -. from_time) /. delta
+      | None -> Float.infinity)
+    procs
+
+let worst_latency r ~procs ~from_time ~delta =
+  List.fold_left Float.max 0. (latencies r ~procs ~from_time ~delta)
+
+let mean_latency r ~procs ~from_time ~delta =
+  let finite =
+    List.filter Float.is_finite (latencies r ~procs ~from_time ~delta)
+  in
+  match finite with [] -> Float.infinity | xs -> Sim.Metrics.mean xs
+
+let check_safety (r : _ Sim.Engine.run_result) =
+  match r.Sim.Engine.agreement_violation with
+  | Some (p1, v1, p2, v2) ->
+      Error
+        (Printf.sprintf "agreement violated: p%d decided %d but p%d decided %d"
+           p1 v1 p2 v2)
+  | None ->
+      let proposals = Array.to_list r.scenario.Sim.Scenario.proposals in
+      let bad = ref None in
+      Array.iteri
+        (fun p v ->
+          match v with
+          | Some v when (not (List.mem v proposals)) && !bad = None ->
+              bad := Some (p, v)
+          | _ -> ())
+        r.decision_values;
+      (match !bad with
+      | Some (p, v) ->
+          Error
+            (Printf.sprintf "validity violated: p%d decided %d, never proposed"
+               p v)
+      | None -> Ok ())
+
+let procs ~n ?(except = []) () =
+  List.filter (fun p -> not (List.mem p except)) (List.init n (fun i -> i))
+
+let over_seeds ~seeds ~base f =
+  List.init seeds (fun i -> f (Int64.add base (Int64.of_int (i * 7919))))

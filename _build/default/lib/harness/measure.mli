@@ -1,0 +1,29 @@
+(** Shared measurement and safety-checking helpers for experiments. *)
+
+(** Worst decision latency among [procs], in units of [delta], measured
+    from [from_time] (usually [TS]; pass a restart instant for restart
+    experiments).  [Float.infinity] if any of [procs] did not decide. *)
+val worst_latency :
+  'st Sim.Engine.run_result ->
+  procs:int list ->
+  from_time:Sim.Sim_time.t ->
+  delta:float ->
+  float
+
+(** Mean decision latency among deciders in [procs] (delta units). *)
+val mean_latency :
+  'st Sim.Engine.run_result ->
+  procs:int list ->
+  from_time:Sim.Sim_time.t ->
+  delta:float ->
+  float
+
+(** Agreement (all decided values equal) and validity (every decided
+    value was somebody's proposal).  [Error msg] names the violation. *)
+val check_safety : 'st Sim.Engine.run_result -> (unit, string) result
+
+(** Process ids [0 .. n-1] minus [except]. *)
+val procs : n:int -> ?except:int list -> unit -> int list
+
+(** Fold [f] over [seeds] distinct seeds derived from [base]. *)
+val over_seeds : seeds:int -> base:int64 -> (int64 -> 'a) -> 'a list

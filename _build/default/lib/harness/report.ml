@@ -1,0 +1,79 @@
+type table = {
+  id : string;
+  title : string;
+  claim : string;
+  columns : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~id ~title ~claim ~columns ~rows ?(notes = []) () =
+  List.iter
+    (fun r ->
+      if List.length r <> List.length columns then
+        invalid_arg
+          (Printf.sprintf "Report.make(%s): row width %d <> %d columns" id
+             (List.length r) (List.length columns)))
+    rows;
+  { id; title; claim; columns; rows; notes }
+
+let widths t =
+  let max_widths init row =
+    List.map2 (fun w cell -> Stdlib.max w (String.length cell)) init row
+  in
+  List.fold_left max_widths (List.map String.length t.columns) t.rows
+
+let pad w s = s ^ String.make (Stdlib.max 0 (w - String.length s)) ' '
+
+let print fmt t =
+  Format.fprintf fmt "== %s: %s ==@." t.id t.title;
+  Format.fprintf fmt "claim: %s@." t.claim;
+  let ws = widths t in
+  let line cells =
+    Format.fprintf fmt "  %s@."
+      (String.concat " | " (List.map2 pad ws cells))
+  in
+  line t.columns;
+  Format.fprintf fmt "  %s@."
+    (String.concat "-+-" (List.map (fun w -> String.make w '-') ws));
+  List.iter line t.rows;
+  List.iter (fun n -> Format.fprintf fmt "note: %s@." n) t.notes
+
+let print_all fmt ts =
+  List.iteri
+    (fun i t ->
+      if i > 0 then Format.pp_print_newline fmt ();
+      print fmt t)
+    ts
+
+let bar_chart fmt ~title ~unit_label series =
+  Format.fprintf fmt "%s@." title;
+  let finite = List.filter (fun (_, v) -> Float.is_finite v) series in
+  let vmax =
+    List.fold_left (fun a (_, v) -> Float.max a v) 1e-9 finite
+  in
+  let lw =
+    List.fold_left (fun a (l, _) -> Stdlib.max a (String.length l)) 0 series
+  in
+  let width = 50 in
+  List.iter
+    (fun (label, v) ->
+      let n, cell =
+        if Float.is_finite v then
+          (int_of_float (Float.round (v /. vmax *. float_of_int width)), "#")
+        else (width, "?")
+      in
+      let n = Stdlib.max 0 (Stdlib.min width n) in
+      Format.fprintf fmt "  %s %s%s %s@." (pad lw label)
+        (String.concat "" (List.init n (fun _ -> cell)))
+        (if n = 0 then "." else "")
+        (if Float.is_finite v then Printf.sprintf "%.1f %s" v unit_label
+         else "(no decision)"))
+    series
+
+let cell_f x = Printf.sprintf "%.2f" x
+
+let cell_latency x =
+  if Float.is_finite x then Printf.sprintf "%.1f" x else "stuck"
+
+let cell_bool b = if b then "yes" else "NO"

@@ -1,0 +1,48 @@
+(** Result tables in the shape a paper would print them.
+
+    Each experiment produces one [table]; the bench binary prints them
+    all, and EXPERIMENTS.md records paper-claim vs measured for each. *)
+
+type table = {
+  id : string;  (** "E1", "A2", ... *)
+  title : string;
+  claim : string;  (** the paper claim being reproduced *)
+  columns : string list;
+  rows : string list list;
+  notes : string list;  (** caveats, substitutions, pass/fail summary *)
+}
+
+val make :
+  id:string ->
+  title:string ->
+  claim:string ->
+  columns:string list ->
+  rows:string list list ->
+  ?notes:string list ->
+  unit ->
+  table
+
+(** Render with aligned columns. *)
+val print : Format.formatter -> table -> unit
+
+(** All tables, separated by blank lines. *)
+val print_all : Format.formatter -> table list -> unit
+
+(** [bar_chart fmt ~title ~unit series] renders grouped horizontal ASCII
+    bars, one row per (label, value); infinite values render as a
+    clipped bar.  Used for the "headline figure" in the bench output. *)
+val bar_chart :
+  Format.formatter ->
+  title:string ->
+  unit_label:string ->
+  (string * float) list ->
+  unit
+
+(** Cell helpers. *)
+val cell_f : float -> string
+
+(** [cell_latency x] renders a latency in delta units, or ["stuck"] for
+    infinity. *)
+val cell_latency : float -> string
+
+val cell_bool : bool -> string

@@ -1,0 +1,1 @@
+lib/mcheck/bc_model.ml: Array Format Fun Hashtbl List Set

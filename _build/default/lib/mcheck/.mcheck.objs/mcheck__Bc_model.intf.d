@@ -1,0 +1,1 @@
+lib/mcheck/bc_model.mli: Format Set

@@ -1,0 +1,1 @@
+lib/mcheck/explorer.ml: Array Explore Format Model

@@ -1,0 +1,1 @@
+lib/mcheck/explorer.mli: Format Model

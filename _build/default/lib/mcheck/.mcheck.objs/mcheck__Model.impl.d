@@ -1,0 +1,1 @@
+lib/mcheck/model.ml: Array Format Fun Hashtbl List Set

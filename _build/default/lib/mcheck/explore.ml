@@ -1,0 +1,48 @@
+type 'state outcome = {
+  states : int;
+  transitions : int;
+  complete : bool;
+  violation : (string * 'state) option;
+}
+
+let run ~initial ~successors ~key ~properties ~max_depth ~max_states =
+  let visited = Hashtbl.create 4096 in
+  let queue = Queue.create () in
+  let transitions = ref 0 in
+  let violation = ref None in
+  let complete = ref true in
+  let check st =
+    match List.find_opt (fun (_, pred) -> not (pred st)) properties with
+    | Some (name, _) when !violation = None -> violation := Some (name, st)
+    | _ -> ()
+  in
+  let push depth st =
+    let k = key st in
+    if not (Hashtbl.mem visited k) then begin
+      if Hashtbl.length visited >= max_states then complete := false
+      else begin
+        Hashtbl.add visited k ();
+        check st;
+        if depth < max_depth then Queue.push (depth, st) queue
+        else complete := false
+      end
+    end
+  in
+  push 0 initial;
+  let rec loop () =
+    if !violation <> None || Queue.is_empty queue then ()
+    else begin
+      let depth, st = Queue.pop queue in
+      let succs = successors st in
+      transitions := !transitions + List.length succs;
+      List.iter (push (depth + 1)) succs;
+      loop ()
+    end
+  in
+  loop ();
+  {
+    states = Hashtbl.length visited;
+    transitions = !transitions;
+    complete = !complete && !violation = None;
+    violation = !violation;
+  }

@@ -1,0 +1,26 @@
+(** Generic bounded breadth-first state-space exploration.
+
+    Polymorphic over the transition system: {!Explorer} instantiates it
+    for the modified-Paxos core ({!Model}) and {!Bc_explorer} for the
+    B-Consensus round core ({!Bc_model}). *)
+
+type 'state outcome = {
+  states : int;
+  transitions : int;
+  complete : bool;  (** false when a depth/state bound stopped the search *)
+  violation : (string * 'state) option;
+}
+
+(** [run ~initial ~successors ~key ~properties ~max_depth ~max_states]:
+    [key] must map equal states to equal (structurally comparable)
+    values — beware non-canonical representations like [Set.t]. Every
+    visited state is checked against all [properties]; the search stops
+    at the first violation. *)
+val run :
+  initial:'state ->
+  successors:('state -> 'state list) ->
+  key:('state -> 'key) ->
+  properties:(string * ('state -> bool)) list ->
+  max_depth:int ->
+  max_states:int ->
+  'state outcome

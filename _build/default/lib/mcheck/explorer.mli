@@ -1,0 +1,32 @@
+(** Exhaustive breadth-first exploration of the {!Model} state space. *)
+
+type outcome = {
+  states : int;  (** distinct states visited *)
+  transitions : int;
+  complete : bool;  (** false if [max_states] stopped the search *)
+  violation : (string * Model.state) option;
+      (** first property violation found: (property name, witness) *)
+}
+
+(** [run cfg ~max_states ~properties] explores breadth-first from
+    {!Model.initial}.  [properties] are (name, predicate) pairs checked
+    on every visited state; the search stops at the first violation.
+    [max_depth] bounds the exploration depth (bounded model checking):
+    when either bound is hit, [complete] is [false] but every state
+    within the bound has still been checked. *)
+val run :
+  ?max_depth:int ->
+  Model.config ->
+  max_states:int ->
+  properties:(string * (Model.state -> bool)) list ->
+  outcome
+
+(** The three standard property sets. *)
+val safety_properties :
+  Model.config -> (string * (Model.state -> bool)) list
+
+(** Safety plus the step-1 obsolete-ballot invariant (only meaningful
+    when [cfg.gate] is on). *)
+val all_properties : Model.config -> (string * (Model.state -> bool)) list
+
+val pp_outcome : Format.formatter -> outcome -> unit

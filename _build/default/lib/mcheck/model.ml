@@ -1,0 +1,275 @@
+type msg =
+  | M1a of { src : int; bal : int }
+  | M1b of { src : int; bal : int; vbal : int; vval : int }
+  | M2a of { bal : int; value : int }
+  | M2b of { src : int; bal : int; value : int }
+
+type proc = { mbal : int; vbal : int; vval : int; decided : int }
+
+module Msgset = Set.Make (struct
+  type t = msg
+
+  let compare = compare
+end)
+
+type state = { procs : proc array; msgs : Msgset.t }
+
+type config = {
+  n : int;
+  proposals : int array;
+  max_session : int;
+  gate : bool;
+}
+
+let initial cfg =
+  {
+    procs =
+      Array.init cfg.n (fun p ->
+          { mbal = p; vbal = -1; vval = -1; decided = -1 });
+    msgs = Msgset.empty;
+  }
+
+let session ~n b = b / n
+
+let owner ~n b = b mod n
+
+let majority n = (n / 2) + 1
+
+let sender_of ~n = function
+  | M1a { src; _ } | M1b { src; _ } | M2b { src; _ } -> src
+  | M2a { bal; _ } -> owner ~n bal
+
+let bal_of = function
+  | M1a { bal; _ } | M1b { bal; _ } | M2a { bal; _ } | M2b { bal; _ } -> bal
+
+(* Distinct processes that provably reached session [s]: they sent a
+   message carrying a session-[s] ballot. *)
+let senders_in_session cfg msgs s =
+  Msgset.fold
+    (fun m acc ->
+      if session ~n:cfg.n (bal_of m) = s then
+        let src = sender_of ~n:cfg.n m in
+        if List.mem src acc then acc else src :: acc
+      else acc)
+    msgs []
+
+let with_proc st p proc =
+  let procs = Array.copy st.procs in
+  procs.(p) <- proc;
+  { st with procs }
+
+let add_msg st m =
+  if Msgset.mem m st.msgs then None
+  else Some { st with msgs = Msgset.add m st.msgs }
+
+(* --- transitions ----------------------------------------------------- *)
+
+(* Boot / epsilon-gossip: announce the current ballot. *)
+let announces cfg st =
+  List.filter_map
+    (fun p -> add_msg st (M1a { src = p; bal = st.procs.(p).mbal }))
+    (List.init cfg.n Fun.id)
+
+(* Start Phase 1: jump to the next self-owned session, if the gate lets
+   us and the session cap is not exceeded. *)
+let start_phase1s cfg st =
+  List.filter_map
+    (fun p ->
+      let proc = st.procs.(p) in
+      let s = session ~n:cfg.n proc.mbal in
+      let enabled =
+        (not cfg.gate)
+        || s = 0
+        || List.length (senders_in_session cfg st.msgs s) >= majority cfg.n
+      in
+      if (not enabled) || s + 1 > cfg.max_session then None
+      else begin
+        let bal = ((s + 1) * cfg.n) + p in
+        let st = with_proc st p { proc with mbal = bal } in
+        match add_msg st (M1a { src = p; bal }) with
+        | Some st' -> Some st'
+        | None -> Some st
+      end)
+    (List.init cfg.n Fun.id)
+
+(* Receive a 1a: adopt the ballot and answer 1b. *)
+let deliver_1as cfg st =
+  Msgset.fold
+    (fun m acc ->
+      match m with
+      | M1a { bal; _ } ->
+          List.filter_map
+            (fun p ->
+              let proc = st.procs.(p) in
+              if bal < proc.mbal then None
+              else begin
+                let st' = with_proc st p { proc with mbal = bal } in
+                match
+                  add_msg st'
+                    (M1b
+                       { src = p; bal; vbal = proc.vbal; vval = proc.vval })
+                with
+                | Some st'' -> Some st''
+                | None ->
+                    (* the 1b already exists; still a transition if the
+                       adoption raised p's ballot *)
+                    if proc.mbal < bal then Some st' else None
+              end)
+            (List.init cfg.n Fun.id)
+          @ acc
+      | _ -> acc)
+    st.msgs []
+
+(* Phase 2a: the owner of its current ballot picks a majority of 1b
+   answers (every choice of majority is explored — the adversary picks)
+   and proposes the max-vbal value, or its own proposal. *)
+let phase2as cfg st =
+  List.concat_map
+    (fun p ->
+      let proc = st.procs.(p) in
+      let bal = proc.mbal in
+      if owner ~n:cfg.n bal <> p then []
+      else if Msgset.exists (function M2a { bal = b; _ } -> b = bal | _ -> false) st.msgs
+      then []
+      else begin
+        (* group this ballot's 1b messages by sender *)
+        let by_sender = Hashtbl.create 8 in
+        Msgset.iter
+          (function
+            | M1b { src; bal = b; vbal; vval } when b = bal ->
+                Hashtbl.replace by_sender src
+                  ((vbal, vval) :: (try Hashtbl.find by_sender src with Not_found -> []))
+            | _ -> ())
+          st.msgs;
+        let senders = Hashtbl.fold (fun s _ acc -> s :: acc) by_sender [] in
+        let m = majority cfg.n in
+        if List.length senders < m then []
+        else begin
+          (* all majority-sized sender subsets x per-sender vote choices *)
+          let rec subsets k = function
+            | [] -> if k = 0 then [ [] ] else []
+            | x :: rest ->
+                if k = 0 then [ [] ]
+                else
+                  List.map (fun sub -> x :: sub) (subsets (k - 1) rest)
+                  @ subsets k rest
+          in
+          let vote_choices sub =
+            List.fold_left
+              (fun acc s ->
+                let votes = Hashtbl.find by_sender s in
+                List.concat_map
+                  (fun chosen -> List.map (fun v -> v :: chosen) votes)
+                  acc)
+              [ [] ] sub
+          in
+          List.concat_map
+            (fun sub ->
+              List.filter_map
+                (fun votes ->
+                  let vb, vv =
+                    List.fold_left
+                      (fun (b0, v0) (b1, v1) ->
+                        if b1 > b0 then (b1, v1) else (b0, v0))
+                      (-1, -1) votes
+                  in
+                  let value = if vb >= 0 then vv else cfg.proposals.(p) in
+                  add_msg st (M2a { bal; value }))
+                (vote_choices sub))
+            (subsets m senders)
+        end
+      end)
+    (List.init cfg.n Fun.id)
+
+(* Receive a 2a: adopt and accept. *)
+let deliver_2as cfg st =
+  Msgset.fold
+    (fun m acc ->
+      match m with
+      | M2a { bal; value } ->
+          List.filter_map
+            (fun p ->
+              let proc = st.procs.(p) in
+              if bal < proc.mbal then None
+              else begin
+                let st =
+                  with_proc st p { proc with mbal = bal; vbal = bal; vval = value }
+                in
+                add_msg st (M2b { src = p; bal; value })
+              end)
+            (List.init cfg.n Fun.id)
+          @ acc
+      | _ -> acc)
+    st.msgs []
+
+(* Decide on a majority of matching 2b messages. *)
+let decides cfg st =
+  let candidates =
+    Msgset.fold
+      (fun m acc ->
+        match m with
+        | M2b { bal; value; _ } ->
+            if List.mem (bal, value) acc then acc else (bal, value) :: acc
+        | _ -> acc)
+      st.msgs []
+  in
+  List.concat_map
+    (fun (bal, value) ->
+      let senders =
+        Msgset.fold
+          (fun m acc ->
+            match m with
+            | M2b { src; bal = b; value = v } when b = bal && v = value ->
+                if List.mem src acc then acc else src :: acc
+            | _ -> acc)
+          st.msgs []
+      in
+      if List.length senders < majority cfg.n then []
+      else
+        List.filter_map
+          (fun p ->
+            let proc = st.procs.(p) in
+            if proc.decided >= 0 then None
+            else Some (with_proc st p { proc with decided = value }))
+          (List.init cfg.n Fun.id))
+    candidates
+
+let successors cfg st =
+  announces cfg st @ start_phase1s cfg st @ deliver_1as cfg st
+  @ phase2as cfg st @ deliver_2as cfg st @ decides cfg st
+
+(* --- properties ------------------------------------------------------- *)
+
+let agreement st =
+  let decided =
+    Array.to_list st.procs
+    |> List.filter_map (fun p -> if p.decided >= 0 then Some p.decided else None)
+  in
+  match decided with
+  | [] -> true
+  | v :: rest -> List.for_all (( = ) v) rest
+
+let validity cfg st =
+  Array.for_all
+    (fun p -> p.decided < 0 || Array.exists (( = ) p.decided) cfg.proposals)
+    st.procs
+
+let obsolete_bound cfg st =
+  (* highest session reached by a majority *)
+  let sessions =
+    Array.to_list st.procs
+    |> List.map (fun p -> session ~n:cfg.n p.mbal)
+    |> List.sort (fun a b -> compare b a)
+  in
+  let majority_session = List.nth sessions (majority cfg.n - 1) in
+  let ok_bal b = session ~n:cfg.n b <= majority_session + 1 in
+  Array.for_all (fun p -> ok_bal p.mbal) st.procs
+  && Msgset.for_all (fun m -> ok_bal (bal_of m)) st.msgs
+
+let pp_state fmt st =
+  Array.iteri
+    (fun i p ->
+      Format.fprintf fmt "p%d{mbal=%d vbal=%d vval=%d dec=%d} " i p.mbal
+        p.vbal p.vval p.decided)
+    st.procs;
+  Format.fprintf fmt "| %d msgs" (Msgset.cardinal st.msgs)

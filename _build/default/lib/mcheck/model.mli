@@ -1,0 +1,67 @@
+(** A small-scope formal model of the modified Paxos core.
+
+    This is a time-free {e over-approximation} of the Section 4
+    algorithm, built for exhaustive safety checking:
+
+    - timers are erased: any action whose timing precondition could ever
+      be met is always enabled (a superset of all real schedules);
+    - the network is a grow-only set of messages: any sent message can be
+      delivered at any time, any number of times, or never — which
+      subsumes loss, reordering, duplication, and crash/restart (a
+      crashed process is simply one that takes no more steps; stable
+      storage means its state is still there if it resumes);
+    - the "received from a majority" gate reads the message set directly:
+      a message with a session-[s] ballot proves its sender had reached
+      session [s], which is the fact the gate exploits.
+
+    Every safety property that holds on this model holds on every timed
+    execution, because each timed execution's steps embed into the
+    model's transitions.  Liveness and latency do {e not} transfer — they
+    are what the simulator measures.
+
+    The state space is bounded by capping session numbers; the explorer
+    reports how many states a cap covers. *)
+
+type msg =
+  | M1a of { src : int; bal : int }
+  | M1b of { src : int; bal : int; vbal : int; vval : int }
+  | M2a of { bal : int; value : int }
+  | M2b of { src : int; bal : int; value : int }
+
+type proc = {
+  mbal : int;
+  vbal : int;  (** -1 = never accepted *)
+  vval : int;  (** meaningful when [vbal >= 0] *)
+  decided : int;  (** -1 = undecided *)
+}
+
+module Msgset : Set.S with type elt = msg
+
+type state = { procs : proc array; msgs : Msgset.t }
+
+type config = {
+  n : int;
+  proposals : int array;
+  max_session : int;  (** Start Phase 1 beyond this cap is disabled *)
+  gate : bool;  (** condition (ii); [false] explores the ungated variant *)
+}
+
+val initial : config -> state
+
+(** All states reachable in one step. *)
+val successors : config -> state -> state list
+
+(** {2 Properties} *)
+
+(** No two processes decided different values. *)
+val agreement : state -> bool
+
+(** Every decided value is some process's proposal. *)
+val validity : config -> state -> bool
+
+(** The proof's step-1 invariant: every ballot present anywhere (process
+    or message) has a session at most one above the highest session that
+    a majority of processes have reached. *)
+val obsolete_bound : config -> state -> bool
+
+val pp_state : Format.formatter -> state -> unit

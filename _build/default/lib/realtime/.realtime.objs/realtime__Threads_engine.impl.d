@@ -1,0 +1,1 @@
+lib/realtime/threads_engine.ml: Array Condition Fun List Mutex Queue Sim Thread Unix

@@ -1,0 +1,1 @@
+lib/realtime/threads_engine.mli: Sim

@@ -1,0 +1,282 @@
+type fault = Crash of float * int | Restart of float * int
+
+type config = {
+  n : int;
+  delta : float;
+  ts : float;
+  duration : float;
+  pre_loss : float;
+  seed : int64;
+  faults : fault list;
+}
+
+type result = {
+  decisions : (float * int) option array;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  elapsed : float;
+  agreement_violation : bool;
+}
+
+(* One mailbox entry: a message from a peer, an expired timer (tagged
+   with the incarnation that armed it), or a fault action. *)
+type 'msg item =
+  | Ev_msg of int * 'msg
+  | Ev_timer of int * int  (* incarnation, tag *)
+  | Ev_crash
+  | Ev_restart
+
+(* Pending router work: deliver [what] to [dst] at wall time [at]. *)
+type 'msg pending = { at : float; dst : int; what : 'msg item }
+
+type 'msg shared = {
+  cfg : config;
+  mutex : Mutex.t;
+  conds : Condition.t array;  (* one per process, signalled on new mail *)
+  mailboxes : 'msg item Queue.t array;
+  mutable pending : 'msg pending list;  (* unsorted; router scans *)
+  mutable stop : bool;
+  up : bool array;
+  incarnations : int array;
+  start : float;
+  net_rng : Sim.Prng.t;  (* guarded by [mutex] *)
+  decisions : (float * int) option array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable violation : bool;
+}
+
+let now sh = Unix.gettimeofday () -. sh.start
+
+let locked sh f =
+  Mutex.lock sh.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.mutex) f
+
+(* Called with the mutex held. *)
+let enqueue_pending sh ~at ~dst what =
+  sh.pending <- { at; dst; what } :: sh.pending
+
+let router_quantum = 0.0005
+
+(* The router moves due pending items into mailboxes and wakes their
+   owners; it is the only place deliveries materialize, so delivery
+   order at a process is by due time with scheduler jitter. *)
+let router sh () =
+  let rec loop () =
+    let continue_ =
+      locked sh (fun () ->
+          if sh.stop then false
+          else begin
+            let t = now sh in
+            let due, rest =
+              List.partition (fun p -> p.at <= t) sh.pending
+            in
+            sh.pending <- rest;
+            List.iter
+              (fun p ->
+                match p.what with
+                | Ev_msg _ when not sh.up.(p.dst) ->
+                    sh.dropped <- sh.dropped + 1
+                | Ev_timer _ when not sh.up.(p.dst) -> ()
+                | what ->
+                    Queue.push what sh.mailboxes.(p.dst);
+                    (match what with
+                    | Ev_msg _ -> sh.delivered <- sh.delivered + 1
+                    | Ev_timer _ | Ev_crash | Ev_restart -> ());
+                    Condition.signal sh.conds.(p.dst))
+              (List.sort (fun a b -> compare a.at b.at) due);
+            true
+          end)
+    in
+    if continue_ then begin
+      Thread.delay router_quantum;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Network policy: the simulator's eventual synchrony, on wall time.
+   Called with the mutex held (uses the shared rng). *)
+let delivery_delay sh ~src ~dst =
+  let t = now sh in
+  let c = sh.cfg in
+  if t >= c.ts then
+    if src = dst then Some (0.05 *. c.delta)
+    else Some (Sim.Prng.float_range sh.net_rng (0.05 *. c.delta) c.delta)
+  else if Sim.Prng.bool sh.net_rng c.pre_loss then None
+  else Some (Sim.Prng.float_range sh.net_rng (0.05 *. c.delta) (4. *. c.delta))
+
+let make_ctx sh ~proposals ~proc_rng ~storage p : _ Sim.Runtime.ctx =
+  let send ~dst msg =
+    locked sh (fun () ->
+        sh.sent <- sh.sent + 1;
+        match delivery_delay sh ~src:p ~dst with
+        | None -> sh.dropped <- sh.dropped + 1
+        | Some d ->
+            enqueue_pending sh ~at:(now sh +. d) ~dst (Ev_msg (p, msg)))
+  in
+  {
+    Sim.Runtime.self = p;
+    n = sh.cfg.n;
+    proposal = proposals.(p);
+    local_time = (fun () -> now sh);
+    send;
+    broadcast =
+      (fun msg ->
+        for dst = 0 to sh.cfg.n - 1 do
+          send ~dst msg
+        done);
+    set_timer =
+      (fun ~local_delay ~tag ->
+        locked sh (fun () ->
+            enqueue_pending sh
+              ~at:(now sh +. local_delay)
+              ~dst:p
+              (Ev_timer (sh.incarnations.(p), tag))));
+    persist = (fun st -> locked sh (fun () -> storage.(p) <- Some st));
+    decide =
+      (fun v ->
+        locked sh (fun () ->
+            if sh.decisions.(p) = None then begin
+              sh.decisions.(p) <- Some (now sh, v);
+              Array.iter
+                (function
+                  | Some (_, v') when v' <> v -> sh.violation <- true
+                  | _ -> ())
+                sh.decisions
+            end));
+    has_decided = (fun () -> locked sh (fun () -> sh.decisions.(p) <> None));
+    rng = proc_rng;
+    note = (fun _ -> ());
+    oracle_time = (fun () -> now sh);
+  }
+
+(* A process thread: drain the mailbox, fold the protocol over events.
+   Crashes take effect between events (no preemption): the thread drops
+   protocol events while down and rebuilds its state from stable storage
+   on restart. *)
+let process_loop sh (protocol : _ Sim.Runtime.protocol) ctx ~storage p () =
+  let state = ref (protocol.Sim.Runtime.on_boot ctx) in
+  let rec loop () =
+    let next =
+      locked sh (fun () ->
+          let rec wait () =
+            if sh.stop then None
+            else if Queue.is_empty sh.mailboxes.(p) then begin
+              Condition.wait sh.conds.(p) sh.mutex;
+              wait ()
+            end
+            else Some (Queue.pop sh.mailboxes.(p), sh.up.(p), sh.incarnations.(p))
+          in
+          wait ())
+    in
+    match next with
+    | None -> ()
+    | Some (Ev_crash, _, _) ->
+        locked sh (fun () ->
+            sh.up.(p) <- false;
+            sh.incarnations.(p) <- sh.incarnations.(p) + 1;
+            Queue.clear sh.mailboxes.(p));
+        loop ()
+    | Some (Ev_restart, _, _) ->
+        let persisted = locked sh (fun () -> sh.up.(p) <- true; storage.(p)) in
+        state := protocol.Sim.Runtime.on_restart ctx ~persisted;
+        loop ()
+    | Some ((Ev_msg _ | Ev_timer _), false, _) -> loop () (* down: drop *)
+    | Some (Ev_msg (src, msg), true, _) ->
+        state := protocol.Sim.Runtime.on_message ctx !state ~src msg;
+        loop ()
+    | Some (Ev_timer (inc, tag), true, cur_inc) ->
+        if inc = cur_inc then
+          state := protocol.Sim.Runtime.on_timer ctx !state ~tag;
+        loop ()
+  in
+  loop ()
+
+let run cfg ~proposals protocol =
+  if cfg.n <= 0 then invalid_arg "Threads_engine.run: n must be positive";
+  if Array.length proposals <> cfg.n then
+    invalid_arg "Threads_engine.run: proposals length differs from n";
+  if cfg.delta <= 0. || cfg.duration <= 0. || cfg.ts < 0. then
+    invalid_arg "Threads_engine.run: non-positive timing parameter";
+  if cfg.pre_loss < 0. || cfg.pre_loss > 1. then
+    invalid_arg "Threads_engine.run: pre_loss not in [0,1]";
+  List.iter
+    (fun f ->
+      let t, p = match f with Crash (t, p) | Restart (t, p) -> (t, p) in
+      if p < 0 || p >= cfg.n || t < 0. then
+        invalid_arg "Threads_engine.run: bad fault spec")
+    cfg.faults;
+  let root = Sim.Prng.create cfg.seed in
+  let sh =
+    {
+      cfg;
+      mutex = Mutex.create ();
+      conds = Array.init cfg.n (fun _ -> Condition.create ());
+      mailboxes = Array.init cfg.n (fun _ -> Queue.create ());
+      pending = [];
+      stop = false;
+      up = Array.make cfg.n true;
+      incarnations = Array.make cfg.n 0;
+      start = Unix.gettimeofday ();
+      net_rng = Sim.Prng.split root;
+      decisions = Array.make cfg.n None;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      violation = false;
+    }
+  in
+  let storage = Array.make cfg.n None in
+  (* schedule the fault script *)
+  locked sh (fun () ->
+      List.iter
+        (fun f ->
+          match f with
+          | Crash (t, p) -> enqueue_pending sh ~at:t ~dst:p Ev_crash
+          | Restart (t, p) -> enqueue_pending sh ~at:t ~dst:p Ev_restart)
+        cfg.faults);
+  let proc_rngs = Array.init cfg.n (fun _ -> Sim.Prng.split root) in
+  let router_thread = Thread.create (router sh) () in
+  let proc_threads =
+    Array.init cfg.n (fun p ->
+        let ctx = make_ctx sh ~proposals ~proc_rng:proc_rngs.(p) ~storage p in
+        Thread.create (process_loop sh protocol ctx ~storage p) ())
+  in
+  (* Wait until every currently-up process decided (with no pending
+     fault still to apply) or the deadline passes. *)
+  let rec watch () =
+    let all_decided =
+      locked sh (fun () ->
+          let pending_faults =
+            List.exists
+              (fun p ->
+                match p.what with
+                | Ev_crash | Ev_restart -> true
+                | Ev_msg _ | Ev_timer _ -> false)
+              sh.pending
+          in
+          (not pending_faults)
+          && Array.for_all (( <> ) None) sh.decisions)
+    in
+    if (not all_decided) && now sh < cfg.duration then begin
+      Thread.delay 0.005;
+      watch ()
+    end
+  in
+  watch ();
+  locked sh (fun () ->
+      sh.stop <- true;
+      Array.iter Condition.signal sh.conds);
+  Array.iter Thread.join proc_threads;
+  Thread.join router_thread;
+  {
+    decisions = Array.copy sh.decisions;
+    messages_sent = sh.sent;
+    messages_delivered = sh.delivered;
+    messages_dropped = sh.dropped;
+    elapsed = now sh;
+    agreement_violation = sh.violation;
+  }

@@ -1,0 +1,57 @@
+(** A real-time, thread-based executor for the same protocol records the
+    simulator runs.
+
+    Where {!Sim.Engine} interprets a protocol over virtual time, this
+    executor gives each process an OS thread, delivers messages through
+    an in-memory router that imposes real (wall-clock) delays, and fires
+    timers with [Thread.delay]-based scheduling.  Nothing about a
+    protocol implementation changes: it receives the same
+    {!Sim.Runtime.ctx} capabilities.
+
+    The network model mirrors the simulator's eventual synchrony:
+    before [ts] (seconds from the start of the run) messages are dropped
+    with probability [pre_loss] or delayed up to [4 * delta]; from [ts]
+    on, every message is delivered within [delta] (plus scheduler
+    jitter — the router polls on a small quantum, so treat [delta] below
+    a few milliseconds as unreliable on a loaded machine).
+
+    Limitations compared to the simulator, by design: wall-clock runs
+    are not reproducible, there are no drifting clocks ([rho = 0]) and no
+    tracing.  The executor exists to demonstrate — and test — that the
+    protocol layer is not simulator-bound, not to replace the simulator
+    for experiments. *)
+
+type fault = Crash of float * int | Restart of float * int
+    (** (wall-clock seconds from start, process) *)
+
+type config = {
+  n : int;
+  delta : float;  (** post-[ts] delivery bound, seconds *)
+  ts : float;  (** stabilization instant, seconds from run start *)
+  duration : float;  (** hard stop, seconds *)
+  pre_loss : float;  (** pre-[ts] drop probability, [0..1] *)
+  seed : int64;  (** seeds the delay/loss draws *)
+  faults : fault list;
+      (** crash wipes volatile state and voids pending timers; restart
+          resumes from the last [persist]ed state — same semantics as the
+          simulator, on wall time *)
+}
+
+type result = {
+  decisions : (float * int) option array;
+      (** per process: (wall-clock seconds from run start, value) *)
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  elapsed : float;
+  agreement_violation : bool;
+}
+
+(** [run cfg ~proposals protocol] blocks until every process has decided
+    or [cfg.duration] elapses.  Raises [Invalid_argument] on a bad
+    config. *)
+val run :
+  config ->
+  proposals:int array ->
+  ('msg, 'state) Sim.Runtime.protocol ->
+  result

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Clock Fault List Network Pairing_heap Prng Runtime Scenario Sim_time Stable_storage Trace

@@ -1,0 +1,1 @@
+lib/sim/fault.ml: List Printf Sim_time

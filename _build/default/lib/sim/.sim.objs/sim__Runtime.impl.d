@@ -1,0 +1,1 @@
+lib/sim/runtime.ml: Prng Sim_time

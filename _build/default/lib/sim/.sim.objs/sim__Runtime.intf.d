@@ -1,0 +1,1 @@
+lib/sim/runtime.mli: Prng Sim_time

@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Array Fault Format Network Sim_time

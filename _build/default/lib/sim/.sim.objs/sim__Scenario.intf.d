@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Fault Format Network Sim_time

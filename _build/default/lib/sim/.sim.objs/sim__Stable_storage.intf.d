@@ -1,0 +1,1 @@
+lib/sim/stable_storage.mli:

@@ -1,0 +1,26 @@
+type t = { offset : float; rate : float }
+
+let perfect = { offset = 0.; rate = 1. }
+
+let make ~offset ~rate =
+  if rate <= 0. then invalid_arg "Clock.make: rate must be positive";
+  { offset; rate }
+
+let random rng ~rho ~max_offset =
+  if rho < 0. || rho >= 1. then invalid_arg "Clock.random: need 0 <= rho < 1";
+  let rate = Prng.float_range rng (1. -. rho) (1. +. rho) in
+  let offset = if max_offset <= 0. then 0. else Prng.float rng max_offset in
+  { offset; rate }
+
+let local_of_global t g = t.offset +. (t.rate *. g)
+
+let global_duration t d =
+  if d < 0. then invalid_arg "Clock.global_duration: negative duration";
+  d /. t.rate
+
+let real_duration_bounds ~rho d =
+  if rho < 0. || rho >= 1. then
+    invalid_arg "Clock.real_duration_bounds: need 0 <= rho < 1";
+  (d /. (1. +. rho), d /. (1. -. rho))
+
+let pp fmt t = Format.fprintf fmt "clock{offset=%.6f; rate=%.6f}" t.offset t.rate

@@ -1,0 +1,37 @@
+(** Per-process drifting local clocks.
+
+    The paper assumes that after stabilization every process owns a timer
+    whose running rate differs from real time by at most a known
+    [rho << 1].  We model each local clock as the affine map
+    [local (t) = offset + rate * t] with [rate] drawn from
+    [[1 - rho, 1 + rho]].  Protocols set timers in local-clock seconds;
+    the engine converts local durations to global ones through the
+    process's clock. *)
+
+type t = private { offset : float; rate : float }
+
+(** Clock with no offset and perfect rate. *)
+val perfect : t
+
+(** [make ~offset ~rate] builds a clock. Requires [rate > 0.]. *)
+val make : offset:float -> rate:float -> t
+
+(** [random rng ~rho ~max_offset] draws a clock with rate uniform in
+    [[1 - rho, 1 + rho]] and offset uniform in [[0, max_offset)].
+    Requires [0. <= rho < 1.]. *)
+val random : Prng.t -> rho:float -> max_offset:float -> t
+
+(** Local reading at a global instant. *)
+val local_of_global : t -> Sim_time.t -> float
+
+(** [global_duration t d] is the real time needed for the local clock to
+    advance by [d] local seconds. *)
+val global_duration : t -> float -> float
+
+(** Bounds [lo, hi] on the real duration of a local duration [d] over all
+    admissible rates for drift [rho]: [d /. (1. +. rho), d /. (1. -. rho)].
+    Used by protocol configs to pick timer values that are guaranteed to
+    land in a real-time window. *)
+val real_duration_bounds : rho:float -> float -> float * float
+
+val pp : Format.formatter -> t -> unit

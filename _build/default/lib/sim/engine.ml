@@ -1,0 +1,374 @@
+type 'msg body =
+  | Deliver of { src : int; dst : int; msg : 'msg }
+  | Timer of { proc : int; incarnation : int; tag : int }
+  | Fault_action of { proc : int; action : Fault.action }
+
+type 'msg event = { at : Sim_time.t; seq : int; body : 'msg body }
+
+type ('msg, 'state) protocol = ('msg, 'state) Runtime.protocol = {
+  name : string;
+  on_boot : ('msg, 'state) Runtime.ctx -> 'state;
+  on_message :
+    ('msg, 'state) Runtime.ctx -> 'state -> src:int -> 'msg -> 'state;
+  on_timer : ('msg, 'state) Runtime.ctx -> 'state -> tag:int -> 'state;
+  on_restart :
+    ('msg, 'state) Runtime.ctx -> persisted:'state option -> 'state;
+  msg_info : 'msg -> string;
+}
+
+type ('msg, 'state) ctx = ('msg, 'state) Runtime.ctx
+
+type ('msg, 'state) t = {
+  scenario : Scenario.t;
+  protocol : ('msg, 'state) protocol;
+  mutable queue : 'msg event Pairing_heap.t;
+  mutable now : Sim_time.t;
+  mutable next_seq : int;
+  states : 'state option array;  (* None = process down *)
+  incarnations : int array;
+  clocks : Clock.t array;
+  storage : 'state Stable_storage.t;
+  net_rng : Prng.t;
+  proc_rngs : Prng.t array;
+  decision_times : Sim_time.t option array;
+  decision_values : int option array;
+  trace : Trace.t;
+  mutable ctxs : ('msg, 'state) ctx array;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable pending_faults : int;
+  mutable events_processed : int;
+  mutable agreement_violation : (int * int * int * int) option;
+}
+
+(* Events are ordered by (time, insertion sequence): simultaneous events
+   fire in the order they were scheduled, which makes runs deterministic. *)
+let event_cmp a b =
+  let c = Sim_time.compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let schedule eng ~at body =
+  let ev = { at; seq = eng.next_seq; body } in
+  eng.next_seq <- eng.next_seq + 1;
+  eng.queue <- Pairing_heap.insert eng.queue ev
+
+(* ------------------------------------------------------------------ *)
+(* Context operations (thin wrappers over the closure record so that   *)
+(* protocol code reads [Engine.send ctx ...])                          *)
+(* ------------------------------------------------------------------ *)
+
+let self (c : _ ctx) = c.Runtime.self
+
+let n_processes (c : _ ctx) = c.Runtime.n
+
+let proposal (c : _ ctx) = c.Runtime.proposal
+
+let local_time (c : _ ctx) = c.Runtime.local_time ()
+
+let send (c : _ ctx) ~dst msg = c.Runtime.send ~dst msg
+
+let broadcast (c : _ ctx) msg = c.Runtime.broadcast msg
+
+let set_timer (c : _ ctx) ~local_delay ~tag =
+  c.Runtime.set_timer ~local_delay ~tag
+
+let persist (c : _ ctx) st = c.Runtime.persist st
+
+let decide (c : _ ctx) v = c.Runtime.decide v
+
+let has_decided (c : _ ctx) = c.Runtime.has_decided ()
+
+let rng (c : _ ctx) = c.Runtime.rng
+
+let note (c : _ ctx) text = c.Runtime.note text
+
+let oracle_time (c : _ ctx) = c.Runtime.oracle_time ()
+
+(* ------------------------------------------------------------------ *)
+(* Simulator implementations of the context capabilities               *)
+(* ------------------------------------------------------------------ *)
+
+let eng_send eng p ~dst msg =
+  let sc = eng.scenario in
+  eng.sent <- eng.sent + 1;
+  let info () = eng.protocol.msg_info msg in
+  match
+    sc.Scenario.network.Network.decide eng.net_rng ~now:eng.now
+      ~ts:sc.Scenario.ts ~delta:sc.Scenario.delta ~src:p ~dst
+  with
+  | Network.Drop ->
+      eng.dropped <- eng.dropped + 1;
+      if Trace.enabled eng.trace then
+        Trace.record eng.trace
+          (Trace.Drop { t = eng.now; src = p; dst; info = info () })
+  | Network.Deliver_after delay ->
+      if Trace.enabled eng.trace then
+        Trace.record eng.trace
+          (Trace.Send { t = eng.now; src = p; dst; info = info () });
+      schedule eng
+        ~at:(Sim_time.add eng.now delay)
+        (Deliver { src = p; dst; msg })
+  | Network.Deliver_copies delays ->
+      if Trace.enabled eng.trace then
+        Trace.record eng.trace
+          (Trace.Send { t = eng.now; src = p; dst; info = info () });
+      List.iter
+        (fun delay ->
+          schedule eng
+            ~at:(Sim_time.add eng.now delay)
+            (Deliver { src = p; dst; msg }))
+        delays
+
+let eng_set_timer eng p ~local_delay ~tag =
+  if local_delay < 0. then invalid_arg "Engine.set_timer: negative delay";
+  let global_delay = Clock.global_duration eng.clocks.(p) local_delay in
+  let fire_at = Sim_time.add eng.now global_delay in
+  if Trace.enabled eng.trace then
+    Trace.record eng.trace
+      (Trace.Timer_set { t = eng.now; proc = p; tag; fire_at });
+  schedule eng ~at:fire_at
+    (Timer { proc = p; incarnation = eng.incarnations.(p); tag })
+
+let eng_decide eng p v =
+  match eng.decision_values.(p) with
+  | Some _ -> ()
+  | None ->
+      eng.decision_values.(p) <- Some v;
+      eng.decision_times.(p) <- Some eng.now;
+      Trace.record eng.trace (Trace.Decide { t = eng.now; proc = p; value = v });
+      (* Flag (but do not abort on) an agreement violation so that tests
+         can surface a safety bug with the full trace in hand. *)
+      if eng.agreement_violation = None then
+        Array.iteri
+          (fun q vq ->
+            match vq with
+            | Some vq when vq <> v && eng.agreement_violation = None ->
+                eng.agreement_violation <- Some (p, v, q, vq)
+            | _ -> ())
+          eng.decision_values
+
+let make_ctx eng p : _ ctx =
+  let n = eng.scenario.Scenario.n in
+  {
+    Runtime.self = p;
+    n;
+    proposal = eng.scenario.Scenario.proposals.(p);
+    local_time = (fun () -> Clock.local_of_global eng.clocks.(p) eng.now);
+    send = (fun ~dst msg -> eng_send eng p ~dst msg);
+    broadcast =
+      (fun msg ->
+        for dst = 0 to n - 1 do
+          eng_send eng p ~dst msg
+        done);
+    set_timer =
+      (fun ~local_delay ~tag -> eng_set_timer eng p ~local_delay ~tag);
+    persist = (fun st -> Stable_storage.save eng.storage ~proc:p st);
+    decide = (fun v -> eng_decide eng p v);
+    has_decided = (fun () -> eng.decision_values.(p) <> None);
+    rng = eng.proc_rngs.(p);
+    note =
+      (fun text ->
+        Trace.record eng.trace (Trace.Note { t = eng.now; proc = p; text }));
+    oracle_time = (fun () -> eng.now);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Run loop                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type 'state run_result = {
+  scenario : Scenario.t;
+  protocol_name : string;
+  decision_times : Sim_time.t option array;
+  decision_values : int option array;
+  messages_sent : int;
+  messages_delivered : int;
+  messages_dropped : int;
+  end_time : Sim_time.t;
+  events_processed : int;
+  trace : Trace.t;
+  agreement_violation : (int * int * int * int) option;
+  final_states : 'state option array;
+}
+
+let all_up_decided (eng : (_, _) t) =
+  let ok = ref true in
+  let any_up = ref false in
+  Array.iteri
+    (fun p st ->
+      match st with
+      | None -> ()
+      | Some _ ->
+          any_up := true;
+          if eng.decision_values.(p) = None then ok := false)
+    eng.states;
+  !any_up && !ok
+
+let should_stop (eng : (_, _) t) =
+  eng.scenario.Scenario.stop_on_all_decided
+  && eng.pending_faults = 0
+  && all_up_decided eng
+
+let dispatch (eng : (_, _) t) ev =
+  eng.events_processed <- eng.events_processed + 1;
+  match ev.body with
+  | Deliver { src; dst; msg } -> (
+      match eng.states.(dst) with
+      | None ->
+          (* Receiver is down: the message is lost on arrival. *)
+          eng.dropped <- eng.dropped + 1;
+          if Trace.enabled eng.trace then
+            Trace.record eng.trace
+              (Trace.Drop
+                 { t = eng.now; src; dst; info = eng.protocol.msg_info msg })
+      | Some st ->
+          eng.delivered <- eng.delivered + 1;
+          if Trace.enabled eng.trace then
+            Trace.record eng.trace
+              (Trace.Deliver
+                 { t = eng.now; src; dst; info = eng.protocol.msg_info msg });
+          eng.states.(dst) <-
+            Some (eng.protocol.on_message eng.ctxs.(dst) st ~src msg))
+  | Timer { proc; incarnation; tag } -> (
+      (* A timer set before a crash is void: the incarnation moved on. *)
+      if incarnation = eng.incarnations.(proc) then
+        match eng.states.(proc) with
+        | None -> ()
+        | Some st ->
+            if Trace.enabled eng.trace then
+              Trace.record eng.trace
+                (Trace.Timer_fire { t = eng.now; proc; tag });
+            eng.states.(proc) <-
+              Some (eng.protocol.on_timer eng.ctxs.(proc) st ~tag))
+  | Fault_action { proc; action } -> (
+      eng.pending_faults <- eng.pending_faults - 1;
+      match action with
+      | Fault.Crash ->
+          Trace.record eng.trace (Trace.Crash { t = eng.now; proc });
+          eng.states.(proc) <- None;
+          eng.incarnations.(proc) <- eng.incarnations.(proc) + 1
+      | Fault.Restart ->
+          Trace.record eng.trace (Trace.Restart { t = eng.now; proc });
+          eng.incarnations.(proc) <- eng.incarnations.(proc) + 1;
+          let persisted = Stable_storage.load eng.storage ~proc in
+          eng.states.(proc) <-
+            Some (eng.protocol.on_restart eng.ctxs.(proc) ~persisted))
+
+let run ?(injections = []) scenario protocol =
+  (match Scenario.validate scenario with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.run: invalid scenario: " ^ msg));
+  let n = scenario.Scenario.n in
+  let root = Prng.create scenario.Scenario.seed in
+  let net_rng = Prng.split root in
+  let clock_rng = Prng.split root in
+  let proc_rngs = Array.init n (fun _ -> Prng.split root) in
+  let clocks =
+    Array.init n (fun _ ->
+        Clock.random clock_rng ~rho:scenario.Scenario.rho
+          ~max_offset:scenario.Scenario.delta)
+  in
+  let eng =
+    {
+      scenario;
+      protocol;
+      queue = Pairing_heap.empty ~cmp:event_cmp;
+      now = Sim_time.zero;
+      next_seq = 0;
+      states = Array.make n None;
+      incarnations = Array.make n 0;
+      clocks;
+      storage = Stable_storage.create ~n;
+      net_rng;
+      proc_rngs;
+      decision_times = Array.make n None;
+      decision_values = Array.make n None;
+      trace = Trace.create ~enabled:scenario.Scenario.record_trace;
+      ctxs = [||];
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      pending_faults = 0;
+      events_processed = 0;
+      agreement_violation = None;
+    }
+  in
+  eng.ctxs <- Array.init n (fun p -> make_ctx eng p);
+  (* Fault script. *)
+  List.iter
+    (fun { Fault.at; proc; action } ->
+      eng.pending_faults <- eng.pending_faults + 1;
+      schedule eng ~at (Fault_action { proc; action }))
+    (Fault.sorted_events scenario.Scenario.faults);
+  (* Injected in-flight messages (obsolete pre-TS traffic). *)
+  List.iter
+    (fun (at, src, dst, msg) -> schedule eng ~at (Deliver { src; dst; msg }))
+    injections;
+  (* Boot initially-up processes. *)
+  for p = 0 to n - 1 do
+    if not (List.mem p scenario.Scenario.faults.Fault.initially_down) then
+      eng.states.(p) <- Some (protocol.on_boot eng.ctxs.(p))
+  done;
+  (* Main loop. *)
+  let rec loop () =
+    if should_stop eng then ()
+    else
+      match Pairing_heap.pop_min eng.queue with
+      | None -> ()
+      | Some (ev, rest) ->
+          if ev.at > scenario.Scenario.horizon then ()
+          else begin
+            eng.queue <- rest;
+            eng.now <- Sim_time.max eng.now ev.at;
+            dispatch eng ev;
+            loop ()
+          end
+  in
+  loop ();
+  {
+    scenario;
+    protocol_name = protocol.name;
+    decision_times = Array.copy eng.decision_times;
+    decision_values = Array.copy eng.decision_values;
+    messages_sent = eng.sent;
+    messages_delivered = eng.delivered;
+    messages_dropped = eng.dropped;
+    end_time = eng.now;
+    events_processed = eng.events_processed;
+    trace = eng.trace;
+    agreement_violation = eng.agreement_violation;
+    final_states = Array.copy eng.states;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Result helpers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let decisions r =
+  let acc = ref [] in
+  for p = Array.length r.decision_values - 1 downto 0 do
+    match (r.decision_values.(p), r.decision_times.(p)) with
+    | Some v, Some t -> acc := (p, t, v) :: !acc
+    | _ -> ()
+  done;
+  !acc
+
+let default_procs r =
+  List.init (Array.length r.decision_values) (fun i -> i)
+
+let last_decision_time ?procs r =
+  let procs = match procs with Some ps -> ps | None -> default_procs r in
+  List.fold_left
+    (fun acc p ->
+      match (acc, r.decision_times.(p)) with
+      | Some worst, Some t -> Some (Sim_time.max worst t)
+      | _, _ -> None)
+    (Some Sim_time.zero)
+    procs
+
+let all_decided ?procs r =
+  let procs = match procs with Some ps -> ps | None -> default_procs r in
+  procs <> []
+  && List.for_all (fun p -> r.decision_values.(p) <> None) procs
+  && r.agreement_violation = None

@@ -1,0 +1,71 @@
+type action = Crash | Restart
+
+type event = { at : Sim_time.t; proc : int; action : action }
+
+type t = { initially_down : int list; events : event list }
+
+let none = { initially_down = []; events = [] }
+
+let make ?(initially_down = []) events = { initially_down; events }
+
+let crash ~at proc = { at; proc; action = Crash }
+
+let restart ~at proc = { at; proc; action = Restart }
+
+let crash_then_restart ~crash_at ~restart_at proc =
+  if restart_at < crash_at then
+    invalid_arg "Fault.crash_then_restart: restart before crash";
+  make [ crash ~at:crash_at proc; restart ~at:restart_at proc ]
+
+let union a b =
+  {
+    initially_down =
+      List.sort_uniq compare (a.initially_down @ b.initially_down);
+    events = a.events @ b.events;
+  }
+
+let sorted_events t =
+  List.stable_sort (fun a b -> Sim_time.compare a.at b.at) t.events
+
+let alive_at t ~proc ~time =
+  let initial = not (List.mem proc t.initially_down) in
+  List.fold_left
+    (fun alive e ->
+      if e.proc = proc && e.at <= time then
+        match e.action with Crash -> false | Restart -> true
+      else alive)
+    initial (sorted_events t)
+
+let alive_set t ~n ~time =
+  List.filter
+    (fun p -> alive_at t ~proc:p ~time)
+    (List.init n (fun i -> i))
+
+let validate ~n t =
+  let check_id p = p >= 0 && p < n in
+  if not (List.for_all check_id t.initially_down) then
+    Error "initially_down contains an out-of-range process id"
+  else if not (List.for_all (fun e -> check_id e.proc) t.events) then
+    Error "event refers to an out-of-range process id"
+  else if List.exists (fun e -> e.at < 0.) t.events then
+    Error "event scheduled at negative time"
+  else
+    let ok = ref (Ok ()) in
+    for p = 0 to n - 1 do
+      let up = ref (not (List.mem p t.initially_down)) in
+      List.iter
+        (fun e ->
+          if e.proc = p then
+            match e.action with
+            | Crash ->
+                if not !up then
+                  ok := Error (Printf.sprintf "process %d crashed while down" p)
+                else up := false
+            | Restart ->
+                if !up then
+                  ok :=
+                    Error (Printf.sprintf "process %d restarted while up" p)
+                else up := true)
+        (sorted_events t)
+    done;
+    !ok

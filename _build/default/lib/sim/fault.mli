@@ -1,0 +1,48 @@
+(** Crash/restart schedules.
+
+    The paper's fault model: processes fail by stopping (omission faults
+    only), may restart at any time resuming from stable storage, and no
+    process fails after [TS].  A schedule is a scripted list of crash and
+    restart instants; the engine executes it and refuses nothing — it is
+    the scenario author's job to keep the script consistent with the
+    model being studied (e.g. no crashes after [TS] when reproducing the
+    paper's bound). *)
+
+type action = Crash | Restart
+
+type event = { at : Sim_time.t; proc : int; action : action }
+
+type t = {
+  initially_down : int list;  (** processes that are down at time 0 *)
+  events : event list;  (** applied in time order *)
+}
+
+(** No faults at all. *)
+val none : t
+
+val make : ?initially_down:int list -> event list -> t
+
+val crash : at:Sim_time.t -> int -> event
+
+val restart : at:Sim_time.t -> int -> event
+
+(** [crash_then_restart ~crash_at ~restart_at p] is the two-event script. *)
+val crash_then_restart : crash_at:Sim_time.t -> restart_at:Sim_time.t -> int -> t
+
+(** Merge two schedules (concatenates scripts, unions initial-down sets). *)
+val union : t -> t -> t
+
+(** Events sorted by time (stable for equal times). *)
+val sorted_events : t -> event list
+
+(** [alive_at t ~proc ~time] replays the schedule: is [proc] up at [time]?
+    An event at exactly [time] is considered applied. *)
+val alive_at : t -> proc:int -> time:Sim_time.t -> bool
+
+(** Processes that are up at [time] out of [n]. *)
+val alive_set : t -> n:int -> time:Sim_time.t -> int list
+
+(** [validate ~n t] checks ids in range, non-negative times, and that the
+    per-process event sequence alternates sensibly (no crash while down,
+    no restart while up).  Returns [Error msg] on the first problem. *)
+val validate : n:int -> t -> (unit, string) result

@@ -1,0 +1,65 @@
+type summary = {
+  samples : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+let mean = function
+  | [] -> invalid_arg "Metrics.mean: empty"
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. xs
+        /. float_of_int (List.length xs - 1)
+      in
+      sqrt var
+
+let percentile q xs =
+  if xs = [] then invalid_arg "Metrics.percentile: empty";
+  if q < 0. || q > 1. then invalid_arg "Metrics.percentile: q not in [0,1]";
+  let sorted = List.sort Float.compare xs in
+  let n = List.length sorted in
+  let rank =
+    let r = int_of_float (ceil (q *. float_of_int n)) in
+    Stdlib.max 1 (Stdlib.min n r)
+  in
+  List.nth sorted (rank - 1)
+
+let summarize xs =
+  if xs = [] then invalid_arg "Metrics.summarize: empty";
+  {
+    samples = List.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = List.fold_left Float.min Float.infinity xs;
+    max = List.fold_left Float.max Float.neg_infinity xs;
+    p50 = percentile 0.5 xs;
+    p95 = percentile 0.95 xs;
+  }
+
+let linear_fit points =
+  if List.length points < 2 then invalid_arg "Metrics.linear_fit: need >= 2";
+  let n = float_of_int (List.length points) in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. points in
+  let denom = (n *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Metrics.linear_fit: degenerate x values";
+  let b = ((n *. sxy) -. (sx *. sy)) /. denom in
+  let a = (sy -. (b *. sx)) /. n in
+  (a, b)
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f max=%.3f" s.samples
+    s.mean s.stddev s.min s.p50 s.p95 s.max

@@ -1,0 +1,32 @@
+(** Summary statistics over samples (decision latencies, message counts).
+
+    All functions take plain [float list] samples; experiments normalise
+    latencies to units of [delta] before aggregating so results read like
+    the paper's bound ("decides within ~17 delta"). *)
+
+type summary = {
+  samples : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+}
+
+(** Raises [Invalid_argument] on an empty list. *)
+val summarize : float list -> summary
+
+val mean : float list -> float
+
+val stddev : float list -> float
+
+(** [percentile q xs] with [0. <= q <= 1.], nearest-rank on the sorted
+    samples. Raises on empty input. *)
+val percentile : float -> float list -> float
+
+(** Ordinary least squares fit [y = a + b * x]; returns [(a, b)].
+    Raises on fewer than two points or degenerate x. *)
+val linear_fit : (float * float) list -> float * float
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,101 @@
+type decision = Drop | Deliver_after of float | Deliver_copies of float list
+
+type t = {
+  name : string;
+  decide :
+    Prng.t ->
+    now:Sim_time.t ->
+    ts:Sim_time.t ->
+    delta:float ->
+    src:int ->
+    dst:int ->
+    decision;
+}
+
+let min_delay_factor = 0.05
+
+(* Post-stabilization delay: the paper only gives the upper bound delta.
+   Drawing from [min_delay_factor * delta, delta] keeps deliveries
+   strictly positive (so the event loop always advances) while exercising
+   the full admissible range.  Self-addressed messages model local
+   handoff and take the minimum delay, matching the proof's implicit
+   assumption that a process "has" its own message immediately. *)
+let stable_delay rng ~delta ~src ~dst =
+  if src = dst then min_delay_factor *. delta
+  else Prng.float_range rng (min_delay_factor *. delta) delta
+
+let eventually_synchronous ?(pre_loss = 0.5) ?pre_delay_max () =
+  if pre_loss < 0. || pre_loss > 1. then
+    invalid_arg "Network.eventually_synchronous: pre_loss not in [0,1]";
+  let decide rng ~now ~ts ~delta ~src ~dst =
+    if now >= ts then Deliver_after (stable_delay rng ~delta ~src ~dst)
+    else if Prng.bool rng pre_loss then Drop
+    else
+      let max_delay =
+        match pre_delay_max with Some d -> d | None -> 4. *. delta
+      in
+      Deliver_after (Prng.float_range rng (min_delay_factor *. delta) max_delay)
+  in
+  { name = "eventually-synchronous"; decide }
+
+let always_synchronous =
+  let decide rng ~now:_ ~ts:_ ~delta ~src ~dst =
+    Deliver_after (stable_delay rng ~delta ~src ~dst)
+  in
+  { name = "always-synchronous"; decide }
+
+let silent_until_ts =
+  let decide rng ~now ~ts ~delta ~src ~dst =
+    if now >= ts then Deliver_after (stable_delay rng ~delta ~src ~dst)
+    else Drop
+  in
+  { name = "silent-until-ts"; decide }
+
+let deterministic_after_ts =
+  let decide _rng ~now ~ts ~delta ~src ~dst =
+    if now < ts then Drop
+    else if src = dst then Deliver_after (min_delay_factor *. delta)
+    else Deliver_after delta
+  in
+  { name = "deterministic-after-ts"; decide }
+
+let partitioned_until_ts groups =
+  let group_of p =
+    let rec find i = function
+      | [] -> -1 - p (* unique negative id: isolated *)
+      | g :: rest -> if List.mem p g then i else find (i + 1) rest
+    in
+    find 0 groups
+  in
+  let decide rng ~now ~ts ~delta ~src ~dst =
+    if now >= ts || group_of src = group_of dst then
+      Deliver_after (stable_delay rng ~delta ~src ~dst)
+    else Drop
+  in
+  { name = "partitioned-until-ts"; decide }
+
+let with_duplication ~prob base =
+  if prob < 0. || prob > 1. then
+    invalid_arg "Network.with_duplication: prob not in [0,1]";
+  let decide rng ~now ~ts ~delta ~src ~dst =
+    match base.decide rng ~now ~ts ~delta ~src ~dst with
+    | Drop -> Drop
+    | Deliver_copies _ as d -> d
+    | Deliver_after d when Prng.bool rng prob ->
+        (* the duplicate takes its own admissible delay *)
+        let extra =
+          if now >= ts then stable_delay rng ~delta ~src ~dst
+          else Prng.float_range rng (min_delay_factor *. delta) (4. *. delta)
+        in
+        Deliver_copies [ d; extra ]
+    | Deliver_after _ as d -> d
+  in
+  { name = base.name ^ "+dup"; decide }
+
+let with_hook ~name base hook =
+  let decide rng ~now ~ts ~delta ~src ~dst =
+    match hook ~now ~ts ~delta ~src ~dst with
+    | Some d -> d
+    | None -> base.decide rng ~now ~ts ~delta ~src ~dst
+  in
+  { name; decide }

@@ -1,0 +1,89 @@
+(** Message-delivery policies: the model of eventual synchrony.
+
+    The paper's system model makes exactly one guarantee: after the
+    (unknown) stabilization time [TS], every message sent between
+    nonfaulty processes is delivered and reacted to within [delta]
+    seconds.  Messages sent {e before} [TS] may be lost, or delivered at
+    an arbitrary later time — including after [TS], which is the source
+    of the "obsolete message" problem the paper solves.
+
+    A policy decides, at send time, the fate of each message.  Policies
+    are deterministic functions of the supplied [Prng.t], so executions
+    replay exactly. *)
+
+type decision =
+  | Drop
+  | Deliver_after of float  (** delay in seconds from the send instant *)
+  | Deliver_copies of float list
+      (** duplicated delivery: one copy per delay.  The paper notes the
+          algorithms tolerate duplication ("the Paxos algorithm works
+          despite duplication of messages"), so the model can exercise
+          it.  Each copy is still subject to the admissibility rule that
+          applies at the send instant (post-[ts] copies all within
+          [delta]). *)
+
+type t = {
+  name : string;
+  decide :
+    Prng.t ->
+    now:Sim_time.t ->
+    ts:Sim_time.t ->
+    delta:float ->
+    src:int ->
+    dst:int ->
+    decision;
+}
+
+(** Fraction of [delta] used for self-addressed messages and as the lower
+    bound of the post-[TS] delay distribution. *)
+val min_delay_factor : float
+
+(** [eventually_synchronous ?pre_loss ?pre_delay_max ()] is the model of
+    the paper:
+    - messages sent at or after [ts] are delivered after a delay uniform
+      in [[min_delay_factor * delta, delta]] (self-addressed messages take
+      [min_delay_factor * delta]);
+    - messages sent before [ts] are dropped with probability [pre_loss]
+      (default [0.5]) and otherwise delayed uniformly in
+      [[0, pre_delay_max]] (default [4 * delta] — long enough to straddle
+      [ts] and become obsolete). *)
+val eventually_synchronous :
+  ?pre_loss:float -> ?pre_delay_max:float -> unit -> t
+
+(** Synchronous from the start: every message takes at most [delta],
+    regardless of [ts].  Models a system that was "stable all along". *)
+val always_synchronous : t
+
+(** [silent_until_ts] drops every message sent before [ts] and behaves
+    synchronously afterwards.  The harshest admissible pre-stability
+    adversary short of delayed delivery. *)
+val silent_until_ts : t
+
+(** [deterministic_after_ts] drops everything before [ts]; afterwards
+    every message takes {e exactly} [delta] ([min_delay_factor * delta]
+    for self-addressed ones).  Fully predictable timing — used by
+    worst-case adversary constructions that must align injected obsolete
+    messages with a protocol's retry cycle. *)
+val deterministic_after_ts : t
+
+(** [partitioned_until_ts groups] isolates the process groups from one
+    another before [ts] (intra-group traffic is synchronous), then heals.
+    A process absent from every group is isolated. *)
+val partitioned_until_ts : int list list -> t
+
+(** [with_duplication ~prob base] duplicates each delivered message with
+    probability [prob]: the copy arrives at an independent admissible
+    delay (within [delta] after [ts], within [4 delta] before).
+    Duplication is admissible in the paper's model and the algorithms
+    must tolerate it. *)
+val with_duplication : prob:float -> t -> t
+
+(** [with_hook ~name base hook] runs [hook] first; [hook] returns
+    [Some d] to override the base policy, [None] to defer to it.  Used by
+    experiments that need surgical control of specific edges. *)
+val with_hook :
+  name:string ->
+  t ->
+  (now:Sim_time.t -> ts:Sim_time.t -> delta:float -> src:int -> dst:int ->
+   decision option) ->
+  t

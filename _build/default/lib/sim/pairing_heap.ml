@@ -1,0 +1,53 @@
+type 'a tree = Node of 'a * 'a tree list
+
+type 'a t = { cmp : 'a -> 'a -> int; size : int; root : 'a tree option }
+
+let empty ~cmp = { cmp; size = 0; root = None }
+
+let is_empty t = t.root = None
+
+let size t = t.size
+
+let meld cmp a b =
+  match (a, b) with
+  | Node (x, xs), Node (y, ys) ->
+      if cmp x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+let insert t x =
+  let node = Node (x, []) in
+  let root =
+    match t.root with None -> node | Some r -> meld t.cmp r node
+  in
+  { t with size = t.size + 1; root = Some root }
+
+let peek_min t =
+  match t.root with None -> None | Some (Node (x, _)) -> Some x
+
+(* Two-pass pairing: meld children left to right in pairs, then meld the
+   pairs right to left.  This is the variant with the amortised O(log n)
+   delete-min bound. *)
+let rec merge_pairs cmp = function
+  | [] -> None
+  | [ x ] -> Some x
+  | x :: y :: rest -> (
+      let merged = meld cmp x y in
+      match merge_pairs cmp rest with
+      | None -> Some merged
+      | Some r -> Some (meld cmp merged r))
+
+let pop_min t =
+  match t.root with
+  | None -> None
+  | Some (Node (x, children)) ->
+      let root = merge_pairs t.cmp children in
+      Some (x, { t with size = t.size - 1; root })
+
+let of_list ~cmp xs = List.fold_left insert (empty ~cmp) xs
+
+let to_sorted_list t =
+  let rec loop acc t =
+    match pop_min t with
+    | None -> List.rev acc
+    | Some (x, t') -> loop (x :: acc) t'
+  in
+  loop [] t

@@ -1,0 +1,30 @@
+(** Purely functional pairing heap, used as the simulator's event queue.
+
+    Pairing heaps give O(1) insert and amortised O(log n) delete-min,
+    which matches the event-queue access pattern (many inserts, one pop
+    per step).  The heap is a min-heap with respect to the comparison
+    supplied at creation; ties are resolved by the comparison itself, so
+    callers that need deterministic FIFO order must fold a sequence
+    number into their element type. *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val insert : 'a t -> 'a -> 'a t
+
+(** Smallest element, if any, without removing it. *)
+val peek_min : 'a t -> 'a option
+
+(** Smallest element and the remaining heap. *)
+val pop_min : 'a t -> ('a * 'a t) option
+
+(** [of_list ~cmp xs] builds a heap from [xs]. *)
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+(** Pops everything; returns elements in ascending order. *)
+val to_sorted_list : 'a t -> 'a list

@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: Steele, Lea & Flood, OOPSLA 2014. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  (* Mixing once more decorrelates the child stream from the parent's
+     subsequent outputs. *)
+  { state = mix seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit int non-negatively. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t bound =
+  if bound < 0. then invalid_arg "Prng.float: bound must be non-negative";
+  if bound = 0. then 0.
+  else
+    (* 53 high bits give a uniform dyadic rational in [0,1). *)
+    let bits = Int64.shift_right_logical (next_int64 t) 11 in
+    let unit = Int64.to_float bits /. 9007199254740992. in
+    unit *. bound
+
+let float_range t lo hi =
+  if lo > hi then invalid_arg "Prng.float_range: lo > hi";
+  lo +. float t (hi -. lo)
+
+let bool t p =
+  let p = if p < 0. then 0. else if p > 1. then 1. else p in
+  float t 1.0 < p
+
+let shuffle t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t lst =
+  match lst with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth lst (int t (List.length lst))

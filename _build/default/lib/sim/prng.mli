@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every source of randomness in the simulator flows through a [Prng.t]
+    seeded from the scenario, so that an execution is a pure function of
+    its scenario.  The generator is splittable: independent substreams can
+    be derived for the network, the clocks, and each process without the
+    draws of one component perturbing another. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+val create : int64 -> t
+
+(** [copy t] duplicates the generator state; the copy evolves
+    independently. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+val split : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [float t bound] draws uniformly from [0, bound). Requires
+    [bound >= 0.]; returns [0.] when [bound = 0.]. *)
+val float : t -> float -> float
+
+(** [float_range t lo hi] draws uniformly from [lo, hi). Requires
+    [lo <= hi]. *)
+val float_range : t -> float -> float -> float
+
+(** [bool t p] is [true] with probability [p] (clamped to [0,1]). *)
+val bool : t -> float -> bool
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [pick t lst] draws a uniform element. Raises [Invalid_argument] on an
+    empty list. *)
+val pick : t -> 'a list -> 'a

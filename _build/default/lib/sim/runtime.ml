@@ -1,0 +1,24 @@
+type ('msg, 'state) ctx = {
+  self : int;
+  n : int;
+  proposal : int;
+  local_time : unit -> float;
+  send : dst:int -> 'msg -> unit;
+  broadcast : 'msg -> unit;
+  set_timer : local_delay:float -> tag:int -> unit;
+  persist : 'state -> unit;
+  decide : int -> unit;
+  has_decided : unit -> bool;
+  rng : Prng.t;
+  note : string -> unit;
+  oracle_time : unit -> Sim_time.t;
+}
+
+type ('msg, 'state) protocol = {
+  name : string;
+  on_boot : ('msg, 'state) ctx -> 'state;
+  on_message : ('msg, 'state) ctx -> 'state -> src:int -> 'msg -> 'state;
+  on_timer : ('msg, 'state) ctx -> 'state -> tag:int -> 'state;
+  on_restart : ('msg, 'state) ctx -> persisted:'state option -> 'state;
+  msg_info : 'msg -> string;
+}

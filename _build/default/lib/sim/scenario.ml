@@ -1,0 +1,61 @@
+type t = {
+  name : string;
+  n : int;
+  ts : Sim_time.t;
+  delta : float;
+  rho : float;
+  seed : int64;
+  horizon : Sim_time.t;
+  network : Network.t;
+  faults : Fault.t;
+  proposals : int array;
+  stop_on_all_decided : bool;
+  record_trace : bool;
+}
+
+let make ?(name = "scenario") ?(ts = 0.) ?(delta = 0.01) ?(rho = 0.)
+    ?(seed = 1L) ?horizon ?network ?(faults = Fault.none) ?proposals
+    ?(stop_on_all_decided = true) ?(record_trace = false) ~n () =
+  let horizon =
+    match horizon with Some h -> h | None -> ts +. (1000. *. delta)
+  in
+  let network =
+    match network with Some p -> p | None -> Network.eventually_synchronous ()
+  in
+  let proposals =
+    match proposals with
+    | Some vs -> vs
+    | None -> Array.init n (fun i -> 100 + i)
+  in
+  {
+    name;
+    n;
+    ts;
+    delta;
+    rho;
+    seed;
+    horizon;
+    network;
+    faults;
+    proposals;
+    stop_on_all_decided;
+    record_trace;
+  }
+
+let validate t =
+  if t.n <= 0 then Error "n must be positive"
+  else if t.delta <= 0. then Error "delta must be positive"
+  else if t.rho < 0. || t.rho >= 1. then Error "rho must be in [0, 1)"
+  else if t.ts < 0. then Error "ts must be non-negative"
+  else if t.horizon < t.ts then Error "horizon precedes ts"
+  else if Array.length t.proposals <> t.n then
+    Error "proposals array length differs from n"
+  else Fault.validate ~n:t.n t.faults
+
+let with_seed t seed = { t with seed }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s{n=%d; ts=%a; delta=%.4f; rho=%.3f; seed=%Ld; net=%s; horizon=%a}"
+    t.name t.n Sim_time.pp t.ts t.delta t.rho t.seed t.network.Network.name
+    Sim_time.pp t.horizon

@@ -1,0 +1,52 @@
+(** Scenario: the full description of one execution.
+
+    A scenario pins down everything the engine needs — process count,
+    stabilization time [ts], delivery bound [delta], clock drift [rho],
+    seed, network policy, fault script, proposals — so that a run is a
+    deterministic function of the scenario alone. *)
+
+type t = {
+  name : string;
+  n : int;  (** number of processes, ids [0 .. n-1] *)
+  ts : Sim_time.t;  (** stabilization time TS *)
+  delta : float;  (** post-TS delivery bound, seconds *)
+  rho : float;  (** clock rate error, [0 <= rho < 1] *)
+  seed : int64;
+  horizon : Sim_time.t;  (** hard stop for the event loop *)
+  network : Network.t;
+  faults : Fault.t;
+  proposals : int array;  (** initial value of each process *)
+  stop_on_all_decided : bool;
+      (** stop once every currently-up process has decided and no fault
+          event is pending *)
+  record_trace : bool;
+}
+
+(** [make ~n ()] builds a scenario with sane defaults: [ts = 0.],
+    [delta = 0.01], [rho = 0.], seed 1, horizon [1000 * delta] after
+    [ts], synchronous-after-ts network, no faults, proposals
+    [100 + i], early stop on decision, no trace. *)
+val make :
+  ?name:string ->
+  ?ts:Sim_time.t ->
+  ?delta:float ->
+  ?rho:float ->
+  ?seed:int64 ->
+  ?horizon:Sim_time.t ->
+  ?network:Network.t ->
+  ?faults:Fault.t ->
+  ?proposals:int array ->
+  ?stop_on_all_decided:bool ->
+  ?record_trace:bool ->
+  n:int ->
+  unit ->
+  t
+
+(** Check internal consistency (n > 0, delta > 0, proposals length,
+    fault script validity, ...). *)
+val validate : t -> (unit, string) result
+
+(** Same scenario, different seed — the unit of statistical replication. *)
+val with_seed : t -> int64 -> t
+
+val pp : Format.formatter -> t -> unit

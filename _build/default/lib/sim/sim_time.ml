@@ -1,0 +1,24 @@
+type t = float
+
+let zero = 0.
+
+let infinity = Float.infinity
+
+let add t d = t +. d
+
+let diff a b = a -. b
+
+let compare = Float.compare
+
+let min = Float.min
+
+let max = Float.max
+
+let is_finite t = Float.is_finite t
+
+let in_window t ~lo ~hi = lo <= t && t <= hi
+
+let to_string t =
+  if not (Float.is_finite t) then "inf" else Printf.sprintf "%.6fs" t
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,32 @@
+(** Virtual time.
+
+    Simulated time is a non-negative float, in seconds.  All arithmetic on
+    it goes through this module so that unit conventions (and the
+    pretty-printing used by traces and reports) live in one place. *)
+
+type t = float
+
+val zero : t
+
+(** Strictly-positive infinity, used as "never" / unbounded horizon. *)
+val infinity : t
+
+val add : t -> float -> t
+
+val diff : t -> t -> float
+
+val compare : t -> t -> int
+
+val min : t -> t -> t
+
+val max : t -> t -> t
+
+val is_finite : t -> bool
+
+(** [in_window t ~lo ~hi] is [lo <= t && t <= hi]. *)
+val in_window : t -> lo:t -> hi:t -> bool
+
+(** Render as seconds with microsecond precision, e.g. ["1.204000s"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type 'a t = 'a option array
+
+let create ~n =
+  if n <= 0 then invalid_arg "Stable_storage.create: n must be positive";
+  Array.make n None
+
+let save t ~proc v = t.(proc) <- Some v
+
+let load t ~proc = t.(proc)
+
+let persisted_count t =
+  Array.fold_left (fun acc slot -> if slot = None then acc else acc + 1) 0 t

@@ -1,0 +1,20 @@
+(** Simulated stable storage.
+
+    The paper's processes keep their protocol state in stable storage so
+    that a restart "simply resumes where it left off".  The engine owns
+    one slot per process; a crash wipes volatile state but leaves the
+    slot intact, and a restart hands the last persisted value back to the
+    protocol. *)
+
+type 'a t
+
+val create : n:int -> 'a t
+
+(** Overwrite the slot of [proc]. *)
+val save : 'a t -> proc:int -> 'a -> unit
+
+(** Last value saved by [proc], if any. *)
+val load : 'a t -> proc:int -> 'a option
+
+(** Number of processes that have persisted at least once. *)
+val persisted_count : 'a t -> int

@@ -1,0 +1,76 @@
+type entry =
+  | Send of { t : Sim_time.t; src : int; dst : int; info : string }
+  | Deliver of { t : Sim_time.t; src : int; dst : int; info : string }
+  | Drop of { t : Sim_time.t; src : int; dst : int; info : string }
+  | Timer_set of { t : Sim_time.t; proc : int; tag : int; fire_at : Sim_time.t }
+  | Timer_fire of { t : Sim_time.t; proc : int; tag : int }
+  | Crash of { t : Sim_time.t; proc : int }
+  | Restart of { t : Sim_time.t; proc : int }
+  | Decide of { t : Sim_time.t; proc : int; value : int }
+  | Note of { t : Sim_time.t; proc : int; text : string }
+
+type t = { enabled : bool; mutable rev_entries : entry list; mutable count : int }
+
+let create ~enabled = { enabled; rev_entries = []; count = 0 }
+
+let enabled t = t.enabled
+
+let record t e =
+  if t.enabled then begin
+    t.rev_entries <- e :: t.rev_entries;
+    t.count <- t.count + 1
+  end
+
+let entries t = List.rev t.rev_entries
+
+let length t = t.count
+
+let time_of = function
+  | Send { t; _ }
+  | Deliver { t; _ }
+  | Drop { t; _ }
+  | Timer_set { t; _ }
+  | Timer_fire { t; _ }
+  | Crash { t; _ }
+  | Restart { t; _ }
+  | Decide { t; _ }
+  | Note { t; _ } ->
+      t
+
+let sends_in_window t ~lo ~hi =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Send { t; _ } when Sim_time.in_window t ~lo ~hi -> acc + 1
+      | _ -> acc)
+    0 (entries t)
+
+let decisions t =
+  List.filter_map
+    (function
+      | Decide { t; proc; value } -> Some (proc, t, value)
+      | _ -> None)
+    (entries t)
+
+let pp_entry fmt = function
+  | Send { t; src; dst; info } ->
+      Format.fprintf fmt "%a send %d->%d %s" Sim_time.pp t src dst info
+  | Deliver { t; src; dst; info } ->
+      Format.fprintf fmt "%a dlvr %d->%d %s" Sim_time.pp t src dst info
+  | Drop { t; src; dst; info } ->
+      Format.fprintf fmt "%a drop %d->%d %s" Sim_time.pp t src dst info
+  | Timer_set { t; proc; tag; fire_at } ->
+      Format.fprintf fmt "%a tset p%d tag=%d fire=%a" Sim_time.pp t proc tag
+        Sim_time.pp fire_at
+  | Timer_fire { t; proc; tag } ->
+      Format.fprintf fmt "%a fire p%d tag=%d" Sim_time.pp t proc tag
+  | Crash { t; proc } -> Format.fprintf fmt "%a CRASH p%d" Sim_time.pp t proc
+  | Restart { t; proc } ->
+      Format.fprintf fmt "%a RESTART p%d" Sim_time.pp t proc
+  | Decide { t; proc; value } ->
+      Format.fprintf fmt "%a DECIDE p%d value=%d" Sim_time.pp t proc value
+  | Note { t; proc; text } ->
+      Format.fprintf fmt "%a note p%d %s" Sim_time.pp t proc text
+
+let pp fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (entries t)

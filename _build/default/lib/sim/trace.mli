@@ -1,0 +1,42 @@
+(** Structured execution traces.
+
+    Recording is optional (scenarios enable it); when disabled every call
+    is a no-op, so protocols can trace unconditionally.  Entries are kept
+    in reverse order internally and returned chronologically. *)
+
+type entry =
+  | Send of { t : Sim_time.t; src : int; dst : int; info : string }
+  | Deliver of { t : Sim_time.t; src : int; dst : int; info : string }
+  | Drop of { t : Sim_time.t; src : int; dst : int; info : string }
+  | Timer_set of { t : Sim_time.t; proc : int; tag : int; fire_at : Sim_time.t }
+  | Timer_fire of { t : Sim_time.t; proc : int; tag : int }
+  | Crash of { t : Sim_time.t; proc : int }
+  | Restart of { t : Sim_time.t; proc : int }
+  | Decide of { t : Sim_time.t; proc : int; value : int }
+  | Note of { t : Sim_time.t; proc : int; text : string }
+
+type t
+
+val create : enabled:bool -> t
+
+val enabled : t -> bool
+
+val record : t -> entry -> unit
+
+(** Entries in chronological (recording) order. *)
+val entries : t -> entry list
+
+val length : t -> int
+
+val time_of : entry -> Sim_time.t
+
+(** [sends_in_window t ~lo ~hi] counts [Send] entries with
+    [lo <= t <= hi]. *)
+val sends_in_window : t -> lo:Sim_time.t -> hi:Sim_time.t -> int
+
+(** Decide entries as [(proc, time, value)] triples, chronological. *)
+val decisions : t -> (int * Sim_time.t * int) list
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val pp : Format.formatter -> t -> unit

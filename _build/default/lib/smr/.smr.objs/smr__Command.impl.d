@@ -1,0 +1,1 @@
+lib/smr/command.ml: Format List

@@ -1,0 +1,1 @@
+lib/smr/command.mli: Format

@@ -1,0 +1,1 @@
+lib/smr/multi_paxos.ml: Array Ballot Command Consensus Dgl Float Hashtbl Int List Map Printf Quorum Set Sim Smr_messages Stdlib

@@ -1,0 +1,1 @@
+lib/smr/multi_paxos.mli: Ballot Command Consensus Dgl Sim Smr_messages

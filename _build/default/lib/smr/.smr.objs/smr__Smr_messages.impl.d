@@ -1,0 +1,1 @@
+lib/smr/smr_messages.ml: Ballot Command Consensus List Printf

@@ -1,0 +1,1 @@
+lib/smr/smr_messages.mli: Ballot Command Consensus

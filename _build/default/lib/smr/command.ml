@@ -1,0 +1,35 @@
+type op = Set of int | Add of int | Noop
+
+type t = { id : int; op : op }
+
+let make ~id op =
+  if id < 0 then invalid_arg "Command.make: negative id";
+  { id; op }
+
+let noop = { id = -1; op = Noop }
+
+let is_noop c = c.op = Noop
+
+let apply state cmd =
+  match cmd.op with Set v -> v | Add d -> state + d | Noop -> state
+
+(* FNV-1a over (id, op) words: cheap, order-sensitive. *)
+let checksum cmds =
+  let mix h x = (h lxor x) * 0x100000001b3 land max_int in
+  List.fold_left
+    (fun h c ->
+      let opcode, arg =
+        match c.op with Set v -> (1, v) | Add d -> (2, d) | Noop -> (3, 0)
+      in
+      mix (mix (mix h c.id) opcode) arg)
+    0xcbf29ce4 cmds
+
+let equal a b = a.id = b.id && a.op = b.op
+
+let pp fmt c =
+  match c.op with
+  | Set v -> Format.fprintf fmt "cmd%d:set(%d)" c.id v
+  | Add d -> Format.fprintf fmt "cmd%d:add(%d)" c.id d
+  | Noop -> Format.fprintf fmt "noop"
+
+let info c = Format.asprintf "%a" pp c

@@ -1,0 +1,31 @@
+(** Client commands for the replicated state machine.
+
+    The replicated state is a single integer register; commands are the
+    usual register operations plus [Noop], which leaders propose to fill
+    log gaps.  Every client command carries a unique id so that a command
+    re-proposed by two leaders (possible across leader changes) executes
+    only once. *)
+
+type op = Set of int | Add of int | Noop
+
+type t = { id : int; op : op }
+
+val make : id:int -> op -> t
+
+val noop : t
+(** The gap-filler: [id = -1], applies as the identity. *)
+
+val is_noop : t -> bool
+
+(** [apply state cmd] — the state machine transition. *)
+val apply : int -> t -> int
+
+(** Order-sensitive digest of a command sequence; two replicas that
+    applied the same commands in the same order agree on it. *)
+val checksum : t list -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val info : t -> string

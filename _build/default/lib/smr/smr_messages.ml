@@ -1,0 +1,35 @@
+open Consensus
+
+type ivote = { vbal : Ballot.t; vcmd : Command.t }
+
+type t =
+  | M1a of { mbal : Ballot.t }
+  | M1b of {
+      mbal : Ballot.t;
+      votes : (int * ivote) list;
+      chosen_upto : int;
+    }
+  | M2a of { mbal : Ballot.t; instance : int; cmd : Command.t }
+  | M2b of { mbal : Ballot.t; instance : int; cmd : Command.t }
+  | Forward of { cmd : Command.t }
+  | Chosen_digest of { upto : int }
+  | Chosen of { instance : int; cmd : Command.t }
+
+let mbal = function
+  | M1a { mbal } | M1b { mbal; _ } | M2a { mbal; _ } | M2b { mbal; _ } ->
+      Some mbal
+  | Forward _ | Chosen_digest _ | Chosen _ -> None
+
+let info = function
+  | M1a { mbal } -> Printf.sprintf "1a(b%d)" mbal
+  | M1b { mbal; votes; chosen_upto } ->
+      Printf.sprintf "1b(b%d,%d votes,upto %d)" mbal (List.length votes)
+        chosen_upto
+  | M2a { mbal; instance; cmd } ->
+      Printf.sprintf "2a(b%d,i%d,%s)" mbal instance (Command.info cmd)
+  | M2b { mbal; instance; cmd } ->
+      Printf.sprintf "2b(b%d,i%d,%s)" mbal instance (Command.info cmd)
+  | Forward { cmd } -> Printf.sprintf "forward(%s)" (Command.info cmd)
+  | Chosen_digest { upto } -> Printf.sprintf "digest(upto %d)" upto
+  | Chosen { instance; cmd } ->
+      Printf.sprintf "chosen(i%d,%s)" instance (Command.info cmd)

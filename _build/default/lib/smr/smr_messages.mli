@@ -1,0 +1,35 @@
+(** Wire messages of the multi-instance (state-machine-replication)
+    variant of the modified Paxos algorithm.
+
+    Ballots and sessions are global — one phase 1 covers {e all}
+    instances, which is what lets a stable leader commit each command in
+    phase 2 alone ("phase 1 is executed in advance for all instances of
+    the algorithm", Section 4).  Phase 2 messages name the log instance
+    they belong to. *)
+
+open Consensus
+
+(** A per-instance accepted vote: the highest ballot at which the sender
+    accepted a command in that instance, and the command. *)
+type ivote = { vbal : Ballot.t; vcmd : Command.t }
+
+type t =
+  | M1a of { mbal : Ballot.t }
+  | M1b of {
+      mbal : Ballot.t;
+      votes : (int * ivote) list;
+          (** accepted votes for every instance not yet known chosen *)
+      chosen_upto : int;  (** sender's contiguous chosen prefix length *)
+    }
+  | M2a of { mbal : Ballot.t; instance : int; cmd : Command.t }
+  | M2b of { mbal : Ballot.t; instance : int; cmd : Command.t }
+  | Forward of { cmd : Command.t }
+      (** client command forwarded to the believed leader *)
+  | Chosen_digest of { upto : int }
+      (** gossip: my contiguous chosen prefix has this length *)
+  | Chosen of { instance : int; cmd : Command.t }
+      (** catch-up: this instance's chosen command *)
+
+val mbal : t -> Ballot.t option
+
+val info : t -> string

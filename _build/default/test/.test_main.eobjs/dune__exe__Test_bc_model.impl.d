@@ -1,0 +1,1 @@
+test/test_bc_model.ml: Alcotest Array Format List Mcheck String Sys

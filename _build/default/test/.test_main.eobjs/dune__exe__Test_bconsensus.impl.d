@@ -1,0 +1,1 @@
+test/test_bconsensus.ml: Alcotest Array Bconsensus Consensus Fun Harness List Printf QCheck QCheck_alcotest Sim Stdlib

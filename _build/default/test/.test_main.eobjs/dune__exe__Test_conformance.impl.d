@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest Array Baselines Bconsensus Dgl Fun Harness List Option Printf Sim

@@ -1,0 +1,1 @@
+test/test_consensus_lib.ml: Alcotest Array Ballot Consensus Gen List Logical_clock Printf QCheck QCheck_alcotest Quorum Stdlib Types Vote

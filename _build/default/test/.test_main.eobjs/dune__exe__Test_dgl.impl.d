@@ -1,0 +1,1 @@
+test/test_dgl.ml: Alcotest Array Consensus Dgl Harness List Printf Sim Stdlib

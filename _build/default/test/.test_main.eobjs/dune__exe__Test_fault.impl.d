@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Float List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Consensus Dgl Float Format Fun Harness List Printf Sim String

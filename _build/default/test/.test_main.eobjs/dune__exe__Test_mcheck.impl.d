@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Array Format List Mcheck String Sys

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Int64 List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_pairing_heap.ml: Alcotest List QCheck QCheck_alcotest Sim

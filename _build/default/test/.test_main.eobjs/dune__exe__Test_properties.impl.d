@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Baselines Bconsensus Consensus Dgl Fun Harness Hashtbl Int64 List Printf QCheck QCheck_alcotest Sim Stdlib String

@@ -1,0 +1,1 @@
+test/test_realtime.ml: Alcotest Array Bconsensus Dgl List Option Printf Realtime Smr

@@ -1,0 +1,1 @@
+test/test_smr.ml: Alcotest Array Dgl Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Sim Smr String

@@ -1,0 +1,301 @@
+(* Baselines: leader election oracle, traditional Paxos, rotating
+   coordinator. *)
+
+let delta = 0.01
+
+let ts = 0.5
+
+(* --- Leader election --------------------------------------------------- *)
+
+let test_oracle_stabilizes () =
+  let o =
+    Baselines.Leader_election.make ~n:5 ~ts ~delta ~faults:Sim.Fault.none ()
+  in
+  Alcotest.(check int) "lowest id after stability" 0
+    (Baselines.Leader_election.leader_at o ~now:(ts +. delta));
+  Alcotest.(check int) "stays stable" 0
+    (Baselines.Leader_election.leader_at o ~now:(ts +. 100.));
+  Alcotest.(check (float 1e-9)) "stable_from" (ts +. delta)
+    (Baselines.Leader_election.stable_from o)
+
+let test_oracle_skips_dead () =
+  let faults = Sim.Fault.make ~initially_down:[ 0; 1 ] [] in
+  let o = Baselines.Leader_election.make ~n:5 ~ts ~delta ~faults () in
+  Alcotest.(check int) "lowest alive id" 2
+    (Baselines.Leader_election.leader_at o ~now:(ts +. delta))
+
+let test_oracle_unstable_before_ts () =
+  let o =
+    Baselines.Leader_election.make ~n:5 ~ts ~delta ~faults:Sim.Fault.none ()
+  in
+  let nominees =
+    List.sort_uniq compare
+      (List.init 50 (fun i ->
+           Baselines.Leader_election.leader_at o
+             ~now:(float_of_int i *. ts /. 50.)))
+  in
+  Alcotest.(check bool) "rotates before stability" true
+    (List.length nominees > 1)
+
+let test_oracle_fixed () =
+  let o = Baselines.Leader_election.fixed 3 in
+  Alcotest.(check int) "always 3" 3
+    (Baselines.Leader_election.leader_at o ~now:0.)
+
+(* --- Traditional Paxos -------------------------------------------------- *)
+
+let run_traditional ?(n = 5) ?(seed = 1L) ?(faults = Sim.Fault.none)
+    ?(network = Sim.Network.silent_until_ts) ?injections () =
+  let sc =
+    Sim.Scenario.make ~name:"trad" ~n ~ts ~delta ~seed ~network ~faults ()
+  in
+  let oracle = Baselines.Leader_election.make ~n ~ts ~delta ~faults () in
+  Sim.Engine.run ?injections sc
+    (Baselines.Traditional_paxos.protocol ~n ~delta ~oracle ())
+
+let test_traditional_decides_and_agrees () =
+  List.iter
+    (fun seed ->
+      let r = run_traditional ~seed () in
+      Alcotest.(check bool) "all decided + agree" true
+        (Sim.Engine.all_decided r);
+      Alcotest.(check bool) "validity" true
+        (Harness.Measure.check_safety r = Ok ()))
+    [ 1L; 2L; 3L; 4L ]
+
+let test_traditional_with_minority_down () =
+  let n = 9 in
+  let victims = Harness.Adversaries.faulty_minority ~n in
+  let faults = Sim.Fault.make ~initially_down:victims [] in
+  let r = run_traditional ~n ~faults () in
+  List.iter
+    (fun p ->
+      if not (List.mem p victims) then
+        Alcotest.(check bool)
+          (Printf.sprintf "p%d decided" p)
+          true
+          (r.Sim.Engine.decision_values.(p) <> None))
+    (List.init n (fun i -> i))
+
+let test_traditional_obsolete_ballots_cost_linear () =
+  let lat n =
+    let victims = Harness.Adversaries.faulty_minority ~n in
+    let faults = Sim.Fault.make ~initially_down:victims [] in
+    let t0 =
+      Harness.Adversaries.traditional_first_start ~ts ~theta:(2. *. delta)
+        ~stabilize_delay:delta
+    in
+    let injections =
+      Harness.Adversaries.paxos_aligned_injections ~n ~delta ~t0 ~leader:0
+        ~victims
+    in
+    let r =
+      run_traditional ~n ~faults ~network:Sim.Network.deterministic_after_ts
+        ~injections ()
+    in
+    Alcotest.(check bool) "safe under attack" true
+      (Harness.Measure.check_safety r = Ok ());
+    Harness.Measure.worst_latency r
+      ~procs:
+        (List.filter (fun p -> not (List.mem p victims)) (List.init n Fun.id))
+      ~from_time:ts ~delta
+  in
+  let l5 = lat 5 and l17 = lat 17 in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency grows with n (l5=%.1f l17=%.1f)" l5 l17)
+    true
+    (l17 >= l5 +. (3. *. 4.))
+(* at least 4 delta for each of the extra obsolete ballots, minus slack *)
+
+let test_traditional_restart () =
+  let faults =
+    Sim.Fault.crash_then_restart ~crash_at:(ts /. 2.)
+      ~restart_at:(ts +. (20. *. delta))
+      2
+  in
+  let r =
+    run_traditional ~faults ~network:(Sim.Network.eventually_synchronous ()) ()
+  in
+  Alcotest.(check bool) "restarted process decides" true
+    (r.Sim.Engine.decision_values.(2) <> None);
+  Alcotest.(check bool) "agreement" true
+    (r.Sim.Engine.agreement_violation = None)
+
+(* --- Heartbeat Omega ----------------------------------------------------- *)
+
+let run_omega ?(n = 5) ?(seed = 1L) ?(faults = Sim.Fault.none)
+    ?(network = Sim.Network.silent_until_ts) ?injections () =
+  let sc =
+    Sim.Scenario.make ~name:"omega" ~n ~ts ~delta ~seed ~network ~faults ()
+  in
+  Sim.Engine.run ?injections sc
+    (Baselines.Heartbeat_omega.protocol ~n ~delta ())
+
+let test_omega_elects_lowest_alive () =
+  let faults = Sim.Fault.make ~initially_down:[ 0; 1 ] [] in
+  let r = run_omega ~faults () in
+  List.iter
+    (fun p ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "p%d trusts p2" p)
+        (Some 2) r.Sim.Engine.decision_values.(p))
+    [ 2; 3; 4 ]
+
+let test_omega_no_premature_settling () =
+  (* pre-TS silence means no heartbeat-backed leader, so nobody settles
+     before TS *)
+  let r = run_omega () in
+  Array.iter
+    (fun t ->
+      match t with
+      | Some t -> Alcotest.(check bool) "settled after TS" true (t >= ts)
+      | None -> Alcotest.fail "never settled")
+    r.Sim.Engine.decision_times
+
+let test_omega_stale_heartbeats_delay () =
+  let n = 5 in
+  let dead = [ 0; 1 ] in
+  let faults = Sim.Fault.make ~initially_down:dead [] in
+  let tuning = Baselines.Heartbeat_omega.default_tuning ~delta in
+  let spacing = tuning.Baselines.Heartbeat_omega.timeout -. (0.1 *. delta) in
+  let injections =
+    List.concat_map
+      (fun i ->
+        let v = List.nth dead i in
+        List.filter_map
+          (fun dst ->
+            if List.mem dst dead then None
+            else
+              Some
+                ( ts +. (float_of_int i *. spacing),
+                  v,
+                  dst,
+                  Baselines.Heartbeat_omega.Heartbeat { id = v } ))
+          (List.init n Fun.id))
+      [ 0; 1 ]
+  in
+  let live = [ 2; 3; 4 ] in
+  let lat inj =
+    let r =
+      run_omega ~faults ~network:Sim.Network.deterministic_after_ts
+        ?injections:inj ()
+    in
+    List.iter
+      (fun p ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "p%d ends on the live leader" p)
+          (Some 2) r.Sim.Engine.decision_values.(p))
+      live;
+    Harness.Measure.worst_latency r ~procs:live ~from_time:ts ~delta
+  in
+  let clean = lat None and attacked = lat (Some injections) in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale heartbeats cost time (%.1f vs %.1f)" clean attacked)
+    true
+    (attacked >= clean +. 2.)
+
+let test_omega_validation () =
+  Alcotest.(check bool) "period >= timeout rejected" true
+    (try
+       ignore
+         (Baselines.Heartbeat_omega.protocol
+            ~tuning:{ Baselines.Heartbeat_omega.period = 1.0; timeout = 0.5 }
+            ~n:3 ~delta ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Rotating coordinator ----------------------------------------------- *)
+
+let run_rotating ?(n = 5) ?(seed = 1L) ?(faults = Sim.Fault.none)
+    ?(network = Sim.Network.silent_until_ts) () =
+  let sc =
+    Sim.Scenario.make ~name:"rot" ~n ~ts ~delta ~seed ~network ~faults ()
+  in
+  Sim.Engine.run sc (Baselines.Rotating_coordinator.protocol ~n ~delta ())
+
+let test_rotating_decides_and_agrees () =
+  List.iter
+    (fun seed ->
+      let r = run_rotating ~seed () in
+      Alcotest.(check bool) "all decided + agree" true
+        (Sim.Engine.all_decided r);
+      Alcotest.(check bool) "validity" true
+        (Harness.Measure.check_safety r = Ok ()))
+    [ 1L; 2L; 3L; 4L ]
+
+let test_rotating_coordinator_assignment () =
+  Alcotest.(check int) "round 0" 0
+    (Baselines.Rotating_coordinator.coordinator ~n:5 0);
+  Alcotest.(check int) "round 7" 2
+    (Baselines.Rotating_coordinator.coordinator ~n:5 7)
+
+let test_rotating_dead_coordinators_cost_linear () =
+  let lat n =
+    let f = n - Consensus.Quorum.majority n in
+    let dead = List.init f Fun.id in
+    let faults = Sim.Fault.make ~initially_down:dead [] in
+    let r = run_rotating ~n ~faults () in
+    Alcotest.(check bool) "safe" true (Harness.Measure.check_safety r = Ok ());
+    Harness.Measure.worst_latency r
+      ~procs:(List.filter (fun p -> p >= f) (List.init n Fun.id))
+      ~from_time:ts ~delta
+  in
+  let l5 = lat 5 and l17 = lat 17 in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency grows with n (l5=%.1f l17=%.1f)" l5 l17)
+    true
+    (l17 >= l5 +. 12.)
+
+let test_rotating_lossy_network () =
+  let r = run_rotating ~network:(Sim.Network.eventually_synchronous ()) () in
+  Alcotest.(check bool) "decides under pre-TS chaos" true
+    (Sim.Engine.all_decided r)
+
+let test_rotating_restart () =
+  let faults =
+    Sim.Fault.crash_then_restart ~crash_at:(ts /. 2.)
+      ~restart_at:(ts +. (20. *. delta))
+      1
+  in
+  let r =
+    run_rotating ~faults ~network:(Sim.Network.eventually_synchronous ()) ()
+  in
+  Alcotest.(check bool) "restarted process decides" true
+    (r.Sim.Engine.decision_values.(1) <> None);
+  Alcotest.(check bool) "agreement" true
+    (r.Sim.Engine.agreement_violation = None)
+
+let suite =
+  [
+    Alcotest.test_case "oracle stabilizes to lowest alive" `Quick
+      test_oracle_stabilizes;
+    Alcotest.test_case "oracle skips dead processes" `Quick
+      test_oracle_skips_dead;
+    Alcotest.test_case "oracle unstable before TS" `Quick
+      test_oracle_unstable_before_ts;
+    Alcotest.test_case "fixed oracle" `Quick test_oracle_fixed;
+    Alcotest.test_case "traditional: decides and agrees" `Quick
+      test_traditional_decides_and_agrees;
+    Alcotest.test_case "traditional: minority down" `Quick
+      test_traditional_with_minority_down;
+    Alcotest.test_case "traditional: obsolete ballots cost O(N)" `Quick
+      test_traditional_obsolete_ballots_cost_linear;
+    Alcotest.test_case "traditional: restart" `Quick test_traditional_restart;
+    Alcotest.test_case "omega: elects lowest alive" `Quick
+      test_omega_elects_lowest_alive;
+    Alcotest.test_case "omega: no premature settling" `Quick
+      test_omega_no_premature_settling;
+    Alcotest.test_case "omega: stale heartbeats delay" `Quick
+      test_omega_stale_heartbeats_delay;
+    Alcotest.test_case "omega: tuning validation" `Quick
+      test_omega_validation;
+    Alcotest.test_case "rotating: decides and agrees" `Quick
+      test_rotating_decides_and_agrees;
+    Alcotest.test_case "rotating: coordinator assignment" `Quick
+      test_rotating_coordinator_assignment;
+    Alcotest.test_case "rotating: dead coordinators cost O(N)" `Quick
+      test_rotating_dead_coordinators_cost_linear;
+    Alcotest.test_case "rotating: lossy network" `Quick
+      test_rotating_lossy_network;
+    Alcotest.test_case "rotating: restart" `Quick test_rotating_restart;
+  ]

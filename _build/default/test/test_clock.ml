@@ -1,0 +1,73 @@
+let checkf = Alcotest.(check (float 1e-9))
+
+let test_perfect () =
+  let c = Sim.Clock.perfect in
+  checkf "identity at 0" 0. (Sim.Clock.local_of_global c 0.);
+  checkf "identity at 5" 5. (Sim.Clock.local_of_global c 5.);
+  checkf "duration identity" 3. (Sim.Clock.global_duration c 3.)
+
+let test_affine () =
+  let c = Sim.Clock.make ~offset:2. ~rate:1.5 in
+  checkf "local(0)" 2. (Sim.Clock.local_of_global c 0.);
+  checkf "local(4)" 8. (Sim.Clock.local_of_global c 4.);
+  (* a local duration of 3 elapses in 2 real seconds at rate 1.5 *)
+  checkf "global duration" 2. (Sim.Clock.global_duration c 3.)
+
+let test_monotone () =
+  let c = Sim.Clock.make ~offset:0.3 ~rate:0.9 in
+  let prev = ref neg_infinity in
+  for i = 0 to 100 do
+    let l = Sim.Clock.local_of_global c (float_of_int i *. 0.1) in
+    Alcotest.(check bool) "monotone" true (l > !prev);
+    prev := l
+  done
+
+let test_invalid_rate () =
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Clock.make: rate must be positive") (fun () ->
+      ignore (Sim.Clock.make ~offset:0. ~rate:0.))
+
+let test_random_within_rho () =
+  let rng = Sim.Prng.create 1L in
+  for _ = 1 to 200 do
+    let c = Sim.Clock.random rng ~rho:0.05 ~max_offset:1.0 in
+    Alcotest.(check bool) "rate in [0.95, 1.05]" true
+      (c.Sim.Clock.rate >= 0.95 && c.Sim.Clock.rate <= 1.05);
+    Alcotest.(check bool) "offset in [0, 1)" true
+      (c.Sim.Clock.offset >= 0. && c.Sim.Clock.offset < 1.)
+  done
+
+let test_random_invalid_rho () =
+  let rng = Sim.Prng.create 1L in
+  Alcotest.check_raises "rho = 1 rejected"
+    (Invalid_argument "Clock.random: need 0 <= rho < 1") (fun () ->
+      ignore (Sim.Clock.random rng ~rho:1.0 ~max_offset:0.))
+
+let test_duration_bounds () =
+  let lo, hi = Sim.Clock.real_duration_bounds ~rho:0.1 1.1 in
+  checkf "lo" (1.1 /. 1.1) lo;
+  checkf "hi" (1.1 /. 0.9) hi;
+  Alcotest.(check bool) "lo <= hi" true (lo <= hi)
+
+let prop_duration_consistent =
+  QCheck.Test.make ~name:"real duration lies within the rho bounds" ~count:200
+    QCheck.(triple (float_bound_exclusive 0.5) (float_bound_exclusive 10.) int64)
+    (fun (rho, d, seed) ->
+      QCheck.assume (d > 0.);
+      let rng = Sim.Prng.create seed in
+      let c = Sim.Clock.random rng ~rho ~max_offset:0. in
+      let real = Sim.Clock.global_duration c d in
+      let lo, hi = Sim.Clock.real_duration_bounds ~rho d in
+      real >= lo -. 1e-9 && real <= hi +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "perfect clock" `Quick test_perfect;
+    Alcotest.test_case "affine map" `Quick test_affine;
+    Alcotest.test_case "monotone" `Quick test_monotone;
+    Alcotest.test_case "invalid rate" `Quick test_invalid_rate;
+    Alcotest.test_case "random within rho" `Quick test_random_within_rho;
+    Alcotest.test_case "random invalid rho" `Quick test_random_invalid_rho;
+    Alcotest.test_case "duration bounds" `Quick test_duration_bounds;
+    QCheck_alcotest.to_alcotest prop_duration_consistent;
+  ]

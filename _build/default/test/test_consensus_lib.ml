@@ -1,0 +1,200 @@
+(* Shared consensus vocabulary: Quorum, Ballot, Vote, Logical_clock. *)
+
+open Consensus
+
+(* --- Quorum ----------------------------------------------------------- *)
+
+let test_majority () =
+  List.iter
+    (fun (n, m) -> Alcotest.(check int) (Printf.sprintf "majority %d" n) m
+        (Quorum.majority n))
+    [ (1, 1); (2, 2); (3, 2); (4, 3); (5, 3); (9, 5); (10, 6); (100, 51) ];
+  Alcotest.check_raises "n=0 rejected"
+    (Invalid_argument "Quorum.majority: n must be positive") (fun () ->
+      ignore (Quorum.majority 0))
+
+let test_two_quorums_intersect () =
+  (* the safety-bearing property: any two majorities share a process *)
+  for n = 1 to 25 do
+    let m = Quorum.majority n in
+    Alcotest.(check bool)
+      (Printf.sprintf "2m > n for n=%d" n)
+      true
+      ((2 * m) > n)
+  done
+
+let test_tracker () =
+  let q = Quorum.create ~n:5 in
+  Alcotest.(check int) "empty" 0 (Quorum.count q);
+  Alcotest.(check bool) "not reached" false (Quorum.reached q);
+  let q = Quorum.add q 1 in
+  let q = Quorum.add q 1 in
+  Alcotest.(check int) "idempotent add" 1 (Quorum.count q);
+  let q = Quorum.add (Quorum.add q 2) 4 in
+  Alcotest.(check bool) "3/5 reached" true (Quorum.reached q);
+  Alcotest.(check bool) "mem" true (Quorum.mem q 4);
+  Alcotest.(check bool) "not mem" false (Quorum.mem q 0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Quorum.add: process id out of range") (fun () ->
+      ignore (Quorum.add q 5))
+
+let test_of_list () =
+  let q = Quorum.of_list ~n:4 [ 0; 2; 2; 3 ] in
+  Alcotest.(check int) "deduped" 3 (Quorum.count q);
+  Alcotest.(check bool) "reached" true (Quorum.reached q)
+
+let prop_quorum_intersection =
+  QCheck.Test.make ~name:"any two reached quorums intersect" ~count:200
+    QCheck.(pair (int_range 1 15) (pair (list small_nat) (list small_nat)))
+    (fun (n, (xs, ys)) ->
+      let clamp l = List.map (fun x -> x mod n) l in
+      let qa = Quorum.of_list ~n (clamp xs) in
+      let qb = Quorum.of_list ~n (clamp ys) in
+      if Quorum.reached qa && Quorum.reached qb then
+        not
+          (Types.Pset.is_empty
+             (Types.Pset.inter (Quorum.members qa) (Quorum.members qb)))
+      else true)
+
+(* --- Ballot ----------------------------------------------------------- *)
+
+let test_ballot_arithmetic () =
+  let n = 5 in
+  Alcotest.(check int) "initial" 3 (Ballot.initial ~proc:3);
+  Alcotest.(check int) "owner" 3 (Ballot.owner ~n 13);
+  Alcotest.(check int) "session" 2 (Ballot.session ~n 13);
+  Alcotest.(check int) "of_session" 13 (Ballot.of_session ~n ~proc:3 2);
+  Alcotest.(check int) "next_session" 18 (Ballot.next_session ~n ~proc:3 13);
+  Alcotest.(check int) "next_session changes owner" 16
+    (Ballot.next_session ~n ~proc:1 13)
+
+let test_ballot_succ_owned () =
+  let n = 5 in
+  (* smallest ballot > b owned by proc *)
+  Alcotest.(check int) "above foreign ballot" 8 (Ballot.succ_owned ~n ~proc:3 7);
+  Alcotest.(check int) "above own ballot" 13 (Ballot.succ_owned ~n ~proc:3 8);
+  Alcotest.(check int) "above smaller-owner ballot" 13
+    (Ballot.succ_owned ~n ~proc:3 10);
+  for b = 0 to 50 do
+    let s = Ballot.succ_owned ~n ~proc:2 b in
+    Alcotest.(check bool) "strictly greater" true (s > b);
+    Alcotest.(check int) "owned" 2 (Ballot.owner ~n s)
+  done
+
+let test_ballot_validation () =
+  Alcotest.(check bool) "negative ballot rejected" true
+    (try
+       ignore (Ballot.owner ~n:3 (-1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad proc rejected" true
+    (try
+       ignore (Ballot.of_session ~n:3 ~proc:5 0);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_ballot_roundtrip =
+  QCheck.Test.make ~name:"ballot = session * n + owner" ~count:300
+    QCheck.(pair (int_range 1 20) small_nat)
+    (fun (n, b) ->
+      Ballot.of_session ~n ~proc:(Ballot.owner ~n b) (Ballot.session ~n b) = b)
+
+let prop_next_session_minimal =
+  QCheck.Test.make ~name:"next_session advances session by exactly one"
+    ~count:300
+    QCheck.(triple (int_range 1 20) small_nat small_nat)
+    (fun (n, proc, b) ->
+      let proc = proc mod n in
+      let b' = Ballot.next_session ~n ~proc b in
+      Ballot.session ~n b' = Ballot.session ~n b + 1
+      && Ballot.owner ~n b' = proc)
+
+(* --- Vote ------------------------------------------------------------- *)
+
+let test_vote_choose () =
+  let v1 = Vote.make ~vbal:3 ~vval:30 in
+  let v2 = Vote.make ~vbal:7 ~vval:70 in
+  Alcotest.(check int) "fallback on no votes" 99
+    (Vote.choose ~fallback:99 [ Vote.none; Vote.none ]);
+  Alcotest.(check int) "highest vbal wins" 70
+    (Vote.choose ~fallback:99 [ v1; v2; Vote.none ]);
+  Alcotest.(check int) "order independent" 70
+    (Vote.choose ~fallback:99 [ v2; Vote.none; v1 ]);
+  Alcotest.(check bool) "none detection" true (Vote.is_none Vote.none);
+  Alcotest.(check bool) "non-none" false (Vote.is_none v1)
+
+let prop_choose_safety =
+  QCheck.Test.make
+    ~name:"choose returns the value of a max-vbal vote (or fallback)"
+    ~count:300
+    QCheck.(list (pair small_nat small_nat))
+    (fun pairs ->
+      let votes = List.map (fun (b, v) -> Vote.make ~vbal:b ~vval:v) pairs in
+      let chosen = Vote.choose ~fallback:(-1) votes in
+      match votes with
+      | [] -> chosen = -1
+      | _ ->
+          let maxb =
+            List.fold_left (fun a v -> Stdlib.max a v.Vote.vbal) (-1) votes
+          in
+          List.exists (fun v -> v.Vote.vbal = maxb && v.Vote.vval = chosen)
+            votes)
+
+(* --- Logical clock ----------------------------------------------------- *)
+
+let test_logical_clock () =
+  let a = Logical_clock.create ~owner:0 in
+  let b = Logical_clock.create ~owner:1 in
+  let s1 = Logical_clock.tick a in
+  let s2 = Logical_clock.tick a in
+  Alcotest.(check bool) "ticks increase" true
+    (Logical_clock.compare_stamp s1 s2 < 0);
+  (* b observes s2; b's next stamp must exceed s2 *)
+  Logical_clock.observe b s2;
+  let s3 = Logical_clock.tick b in
+  Alcotest.(check bool) "post-receive stamps dominate" true
+    (Logical_clock.compare_stamp s2 s3 < 0);
+  (* same counter, different origin: total order by origin *)
+  let x = { Logical_clock.counter = 5; origin = 0 } in
+  let y = { Logical_clock.counter = 5; origin = 1 } in
+  Alcotest.(check bool) "tie broken by origin" true
+    (Logical_clock.compare_stamp x y < 0);
+  Alcotest.(check int) "current" 3 (Logical_clock.current b)
+
+let prop_lamport_happens_before =
+  QCheck.Test.make
+    ~name:"message chains produce strictly increasing stamps" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 20) (int_bound 2))
+    (fun hops ->
+      let clocks = Array.init 3 (fun owner -> Logical_clock.create ~owner) in
+      let rec chain prev_stamp = function
+        | [] -> true
+        | p :: rest ->
+            (match prev_stamp with
+            | Some s -> Logical_clock.observe clocks.(p) s
+            | None -> ());
+            let s = Logical_clock.tick clocks.(p) in
+            (match prev_stamp with
+            | Some prev when Logical_clock.compare_stamp prev s >= 0 -> false
+            | _ -> chain (Some s) rest)
+      in
+      chain None hops)
+
+let suite =
+  [
+    Alcotest.test_case "majority values" `Quick test_majority;
+    Alcotest.test_case "quorum intersection arithmetic" `Quick
+      test_two_quorums_intersect;
+    Alcotest.test_case "quorum tracker" `Quick test_tracker;
+    Alcotest.test_case "quorum of_list" `Quick test_of_list;
+    QCheck_alcotest.to_alcotest prop_quorum_intersection;
+    Alcotest.test_case "ballot arithmetic" `Quick test_ballot_arithmetic;
+    Alcotest.test_case "ballot succ_owned" `Quick test_ballot_succ_owned;
+    Alcotest.test_case "ballot validation" `Quick test_ballot_validation;
+    QCheck_alcotest.to_alcotest prop_ballot_roundtrip;
+    QCheck_alcotest.to_alcotest prop_next_session_minimal;
+    Alcotest.test_case "vote choose" `Quick test_vote_choose;
+    QCheck_alcotest.to_alcotest prop_choose_safety;
+    Alcotest.test_case "logical clock" `Quick test_logical_clock;
+    QCheck_alcotest.to_alcotest prop_lamport_happens_before;
+  ]

@@ -1,0 +1,111 @@
+let test_none () =
+  Alcotest.(check bool) "everyone alive" true
+    (List.for_all
+       (fun p -> Sim.Fault.alive_at Sim.Fault.none ~proc:p ~time:100.)
+       [ 0; 1; 2 ])
+
+let test_initially_down () =
+  let f = Sim.Fault.make ~initially_down:[ 1 ] [] in
+  Alcotest.(check bool) "p1 down at 0" false
+    (Sim.Fault.alive_at f ~proc:1 ~time:0.);
+  Alcotest.(check bool) "p0 up at 0" true
+    (Sim.Fault.alive_at f ~proc:0 ~time:0.)
+
+let test_crash_then_restart () =
+  let f = Sim.Fault.crash_then_restart ~crash_at:1.0 ~restart_at:2.0 3 in
+  Alcotest.(check bool) "up before crash" true
+    (Sim.Fault.alive_at f ~proc:3 ~time:0.5);
+  Alcotest.(check bool) "down after crash" false
+    (Sim.Fault.alive_at f ~proc:3 ~time:1.5);
+  Alcotest.(check bool) "up after restart" true
+    (Sim.Fault.alive_at f ~proc:3 ~time:2.5);
+  Alcotest.(check bool) "crash applies exactly at its instant" false
+    (Sim.Fault.alive_at f ~proc:3 ~time:1.0)
+
+let test_crash_then_restart_invalid () =
+  Alcotest.check_raises "restart before crash"
+    (Invalid_argument "Fault.crash_then_restart: restart before crash")
+    (fun () ->
+      ignore (Sim.Fault.crash_then_restart ~crash_at:2.0 ~restart_at:1.0 0))
+
+let test_alive_set () =
+  let f =
+    Sim.Fault.make ~initially_down:[ 0 ]
+      [ Sim.Fault.crash ~at:1.0 2; Sim.Fault.restart ~at:3.0 0 ]
+  in
+  Alcotest.(check (list int)) "at t=0.5" [ 1; 2; 3 ]
+    (Sim.Fault.alive_set f ~n:4 ~time:0.5);
+  Alcotest.(check (list int)) "at t=2" [ 1; 3 ]
+    (Sim.Fault.alive_set f ~n:4 ~time:2.);
+  Alcotest.(check (list int)) "at t=4" [ 0; 1; 3 ]
+    (Sim.Fault.alive_set f ~n:4 ~time:4.)
+
+let test_sorted_events () =
+  let f =
+    Sim.Fault.make
+      [ Sim.Fault.crash ~at:3.0 0; Sim.Fault.crash ~at:1.0 1;
+        Sim.Fault.restart ~at:2.0 1 ]
+  in
+  let times = List.map (fun e -> e.Sim.Fault.at) (Sim.Fault.sorted_events f) in
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.0; 2.0; 3.0 ] times
+
+let test_union () =
+  let a = Sim.Fault.make ~initially_down:[ 0 ] [ Sim.Fault.crash ~at:1. 1 ] in
+  let b = Sim.Fault.make ~initially_down:[ 0; 2 ] [ Sim.Fault.restart ~at:2. 1 ] in
+  let u = Sim.Fault.union a b in
+  Alcotest.(check (list int)) "initial down union" [ 0; 2 ]
+    u.Sim.Fault.initially_down;
+  Alcotest.(check int) "events concatenated" 2 (List.length u.Sim.Fault.events)
+
+let test_validate () =
+  let ok f = Sim.Fault.validate ~n:4 f = Ok () in
+  Alcotest.(check bool) "none valid" true (ok Sim.Fault.none);
+  Alcotest.(check bool) "valid script" true
+    (ok (Sim.Fault.crash_then_restart ~crash_at:1. ~restart_at:2. 3));
+  Alcotest.(check bool) "out of range id" false
+    (ok (Sim.Fault.make [ Sim.Fault.crash ~at:1. 7 ]));
+  Alcotest.(check bool) "negative time" false
+    (ok (Sim.Fault.make [ Sim.Fault.crash ~at:(-1.) 0 ]));
+  Alcotest.(check bool) "double crash" false
+    (ok (Sim.Fault.make [ Sim.Fault.crash ~at:1. 0; Sim.Fault.crash ~at:2. 0 ]));
+  Alcotest.(check bool) "restart while up" false
+    (ok (Sim.Fault.make [ Sim.Fault.restart ~at:1. 0 ]));
+  Alcotest.(check bool) "restart of initially-down ok" true
+    (ok (Sim.Fault.make ~initially_down:[ 0 ] [ Sim.Fault.restart ~at:1. 0 ]))
+
+let prop_alive_consistent_with_validate =
+  (* For any valid script, alive_at flips exactly at event times. *)
+  QCheck.Test.make ~name:"alive_at replays events in order" ~count:100
+    QCheck.(list (pair (int_bound 3) (float_bound_exclusive 10.)))
+    (fun specs ->
+      (* build an alternating valid script per process *)
+      let events = ref [] in
+      let up = Array.make 4 true in
+      List.iter
+        (fun (p, t) ->
+          let t = Float.abs t in
+          if up.(p) then events := Sim.Fault.crash ~at:t p :: !events
+          else events := Sim.Fault.restart ~at:t p :: !events;
+          up.(p) <- not up.(p))
+        (List.sort (fun (_, t1) (_, t2) -> compare t1 t2) specs);
+      let f = Sim.Fault.make (List.rev !events) in
+      match Sim.Fault.validate ~n:4 f with
+      | Error _ -> true (* duplicate times can produce invalid scripts *)
+      | Ok () ->
+          List.for_all
+            (fun p -> Sim.Fault.alive_at f ~proc:p ~time:11. = up.(p))
+            [ 0; 1; 2; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "no faults" `Quick test_none;
+    Alcotest.test_case "initially down" `Quick test_initially_down;
+    Alcotest.test_case "crash then restart" `Quick test_crash_then_restart;
+    Alcotest.test_case "invalid crash/restart order" `Quick
+      test_crash_then_restart_invalid;
+    Alcotest.test_case "alive set" `Quick test_alive_set;
+    Alcotest.test_case "sorted events" `Quick test_sorted_events;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "validate" `Quick test_validate;
+    QCheck_alcotest.to_alcotest prop_alive_consistent_with_validate;
+  ]

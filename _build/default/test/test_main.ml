@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "eventual-consensus"
+    [
+      ("prng", Test_prng.suite);
+      ("pairing-heap", Test_pairing_heap.suite);
+      ("clock", Test_clock.suite);
+      ("network", Test_network.suite);
+      ("fault", Test_fault.suite);
+      ("trace", Test_trace.suite);
+      ("sim-misc", Test_misc_sim.suite);
+      ("engine", Test_engine.suite);
+      ("consensus-lib", Test_consensus_lib.suite);
+      ("dgl (modified paxos)", Test_dgl.suite);
+      ("baselines", Test_baselines.suite);
+      ("b-consensus", Test_bconsensus.suite);
+      ("properties", Test_properties.suite);
+      ("conformance", Test_conformance.suite);
+      ("smr", Test_smr.suite);
+      ("model-check", Test_mcheck.suite);
+      ("model-check-bc", Test_bc_model.suite);
+      ("realtime", Test_realtime.suite);
+      ("harness", Test_harness.suite);
+    ]

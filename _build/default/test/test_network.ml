@@ -1,0 +1,164 @@
+let delta = 0.01
+
+let decide policy ~now ~src ~dst seed =
+  policy.Sim.Network.decide (Sim.Prng.create seed) ~now ~ts:1.0 ~delta ~src
+    ~dst
+
+let is_within_delta = function
+  | Sim.Network.Deliver_after d -> d > 0. && d <= delta +. 1e-12
+  | Sim.Network.Deliver_copies ds ->
+      ds <> [] && List.for_all (fun d -> d > 0. && d <= delta +. 1e-12) ds
+  | Sim.Network.Drop -> false
+
+let test_stable_bound () =
+  let p = Sim.Network.eventually_synchronous () in
+  for i = 1 to 500 do
+    Alcotest.(check bool) "post-TS within delta" true
+      (is_within_delta (decide p ~now:1.5 ~src:0 ~dst:1 (Int64.of_int i)))
+  done
+
+let test_self_delivery_fast () =
+  let p = Sim.Network.eventually_synchronous () in
+  match decide p ~now:2.0 ~src:3 ~dst:3 1L with
+  | Sim.Network.Deliver_after d ->
+      Alcotest.(check (float 1e-12)) "self delay"
+        (Sim.Network.min_delay_factor *. delta)
+        d
+  | Sim.Network.Deliver_copies _ | Sim.Network.Drop ->
+      Alcotest.fail "self message dropped or duplicated post-TS"
+
+let test_pre_ts_can_drop_and_delay () =
+  let p = Sim.Network.eventually_synchronous () in
+  let drops = ref 0 and delivers = ref 0 and long = ref 0 in
+  for i = 1 to 1000 do
+    match decide p ~now:0.5 ~src:0 ~dst:1 (Int64.of_int i) with
+    | Sim.Network.Drop -> incr drops
+    | Sim.Network.Deliver_copies _ -> incr delivers
+    | Sim.Network.Deliver_after d ->
+        incr delivers;
+        if d > delta then incr long
+  done;
+  Alcotest.(check bool) "some drops" true (!drops > 300);
+  Alcotest.(check bool) "some deliveries" true (!delivers > 300);
+  Alcotest.(check bool) "some beyond delta (obsolete makers)" true (!long > 50)
+
+let test_pre_loss_validation () =
+  Alcotest.check_raises "pre_loss > 1 rejected"
+    (Invalid_argument "Network.eventually_synchronous: pre_loss not in [0,1]")
+    (fun () -> ignore (Sim.Network.eventually_synchronous ~pre_loss:1.5 ()))
+
+let test_silent () =
+  let p = Sim.Network.silent_until_ts in
+  Alcotest.(check bool) "pre-TS drop" true
+    (decide p ~now:0.9 ~src:0 ~dst:1 1L = Sim.Network.Drop);
+  Alcotest.(check bool) "post-TS delivery" true
+    (is_within_delta (decide p ~now:1.0 ~src:0 ~dst:1 1L))
+
+let test_always_synchronous () =
+  let p = Sim.Network.always_synchronous in
+  Alcotest.(check bool) "pre-TS also bounded" true
+    (is_within_delta (decide p ~now:0.0 ~src:0 ~dst:1 1L))
+
+let test_deterministic () =
+  let p = Sim.Network.deterministic_after_ts in
+  Alcotest.(check bool) "pre-TS drop" true
+    (decide p ~now:0.5 ~src:0 ~dst:1 1L = Sim.Network.Drop);
+  (match decide p ~now:1.5 ~src:0 ~dst:1 1L with
+  | Sim.Network.Deliver_after d ->
+      Alcotest.(check (float 1e-12)) "exactly delta" delta d
+  | Sim.Network.Deliver_copies _ | Sim.Network.Drop ->
+      Alcotest.fail "dropped or duplicated post-TS");
+  match decide p ~now:1.5 ~src:2 ~dst:2 1L with
+  | Sim.Network.Deliver_after d ->
+      Alcotest.(check (float 1e-12)) "self min-delay"
+        (Sim.Network.min_delay_factor *. delta)
+        d
+  | Sim.Network.Deliver_copies _ | Sim.Network.Drop ->
+      Alcotest.fail "self dropped or duplicated post-TS"
+
+let test_partition () =
+  let p = Sim.Network.partitioned_until_ts [ [ 0; 1 ]; [ 2; 3 ] ] in
+  Alcotest.(check bool) "intra-group pre-TS delivered" true
+    (is_within_delta (decide p ~now:0.5 ~src:0 ~dst:1 1L));
+  Alcotest.(check bool) "cross-group pre-TS dropped" true
+    (decide p ~now:0.5 ~src:0 ~dst:2 1L = Sim.Network.Drop);
+  Alcotest.(check bool) "cross-group post-TS delivered" true
+    (is_within_delta (decide p ~now:1.0 ~src:0 ~dst:2 1L));
+  (* process 4 is in no group: isolated pre-TS, even from itself? it is
+     its own (negative) group, so self-delivery works *)
+  Alcotest.(check bool) "isolated process cut off" true
+    (decide p ~now:0.5 ~src:4 ~dst:0 1L = Sim.Network.Drop);
+  Alcotest.(check bool) "isolated self-delivery still works" true
+    (is_within_delta (decide p ~now:0.5 ~src:4 ~dst:4 1L))
+
+let test_duplication () =
+  let p =
+    Sim.Network.with_duplication ~prob:1.0 Sim.Network.always_synchronous
+  in
+  (match decide p ~now:1.5 ~src:0 ~dst:1 1L with
+  | Sim.Network.Deliver_copies [ a; b ] ->
+      Alcotest.(check bool) "both copies delta-bounded" true
+        (a > 0. && a <= delta && b > 0. && b <= delta)
+  | _ -> Alcotest.fail "expected two copies at prob=1");
+  let p0 =
+    Sim.Network.with_duplication ~prob:0.0 Sim.Network.always_synchronous
+  in
+  (match decide p0 ~now:1.5 ~src:0 ~dst:1 1L with
+  | Sim.Network.Deliver_after _ -> ()
+  | _ -> Alcotest.fail "prob=0 must not duplicate");
+  Alcotest.(check bool) "bad prob rejected" true
+    (try
+       ignore
+         (Sim.Network.with_duplication ~prob:2.0 Sim.Network.always_synchronous);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hook_override () =
+  let base = Sim.Network.silent_until_ts in
+  let p =
+    Sim.Network.with_hook ~name:"test" base
+      (fun ~now:_ ~ts:_ ~delta:_ ~src ~dst:_ ->
+        if src = 7 then Some (Sim.Network.Deliver_after 0.001) else None)
+  in
+  Alcotest.(check bool) "hook overrides" true
+    (decide p ~now:0.5 ~src:7 ~dst:0 1L = Sim.Network.Deliver_after 0.001);
+  Alcotest.(check bool) "hook defers" true
+    (decide p ~now:0.5 ~src:0 ~dst:0 1L = Sim.Network.Drop)
+
+let prop_post_ts_always_delivers =
+  QCheck.Test.make ~name:"every policy is delta-bounded after TS" ~count:300
+    QCheck.(pair int64 (pair (int_bound 9) (int_bound 9)))
+    (fun (seed, (src, dst)) ->
+      List.for_all
+        (fun p ->
+          match decide p ~now:1.0 ~src ~dst seed with
+          | Sim.Network.Deliver_after d -> d > 0. && d <= delta +. 1e-12
+          | Sim.Network.Deliver_copies ds ->
+              ds <> []
+              && List.for_all (fun d -> d > 0. && d <= delta +. 1e-12) ds
+          | Sim.Network.Drop -> false)
+        [
+          Sim.Network.eventually_synchronous ();
+          Sim.Network.silent_until_ts;
+          Sim.Network.always_synchronous;
+          Sim.Network.deterministic_after_ts;
+          Sim.Network.partitioned_until_ts [ [ 0; 1; 2 ] ];
+          Sim.Network.with_duplication ~prob:0.5
+            (Sim.Network.eventually_synchronous ());
+        ])
+
+let suite =
+  [
+    Alcotest.test_case "post-TS bounded by delta" `Quick test_stable_bound;
+    Alcotest.test_case "self delivery fast" `Quick test_self_delivery_fast;
+    Alcotest.test_case "pre-TS drops and delays" `Quick
+      test_pre_ts_can_drop_and_delay;
+    Alcotest.test_case "pre_loss validated" `Quick test_pre_loss_validation;
+    Alcotest.test_case "silent policy" `Quick test_silent;
+    Alcotest.test_case "always synchronous" `Quick test_always_synchronous;
+    Alcotest.test_case "deterministic policy" `Quick test_deterministic;
+    Alcotest.test_case "partition policy" `Quick test_partition;
+    Alcotest.test_case "duplication wrapper" `Quick test_duplication;
+    Alcotest.test_case "hook override" `Quick test_hook_override;
+    QCheck_alcotest.to_alcotest prop_post_ts_always_delivers;
+  ]

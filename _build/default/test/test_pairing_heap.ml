@@ -1,0 +1,112 @@
+let int_heap xs = Sim.Pairing_heap.of_list ~cmp:compare xs
+
+let test_empty () =
+  let h = Sim.Pairing_heap.empty ~cmp:compare in
+  Alcotest.(check bool) "is_empty" true (Sim.Pairing_heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Sim.Pairing_heap.size h);
+  Alcotest.(check (option int)) "peek" None (Sim.Pairing_heap.peek_min h);
+  Alcotest.(check bool) "pop" true (Sim.Pairing_heap.pop_min h = None)
+
+let test_singleton () =
+  let h = int_heap [ 42 ] in
+  Alcotest.(check (option int)) "peek" (Some 42) (Sim.Pairing_heap.peek_min h);
+  match Sim.Pairing_heap.pop_min h with
+  | Some (42, rest) ->
+      Alcotest.(check bool) "rest empty" true (Sim.Pairing_heap.is_empty rest)
+  | _ -> Alcotest.fail "expected pop of 42"
+
+let test_sorted_output () =
+  let xs = [ 5; 3; 9; 1; 7; 3; 0; -2; 100 ] in
+  Alcotest.(check (list int))
+    "sorted" (List.sort compare xs)
+    (Sim.Pairing_heap.to_sorted_list (int_heap xs))
+
+let test_persistence () =
+  let h0 = int_heap [ 4; 2; 6 ] in
+  let h1 = Sim.Pairing_heap.insert h0 1 in
+  (* h0 is unchanged by the insert *)
+  Alcotest.(check (option int)) "h0 min" (Some 2) (Sim.Pairing_heap.peek_min h0);
+  Alcotest.(check (option int)) "h1 min" (Some 1) (Sim.Pairing_heap.peek_min h1);
+  Alcotest.(check int) "h0 size" 3 (Sim.Pairing_heap.size h0);
+  Alcotest.(check int) "h1 size" 4 (Sim.Pairing_heap.size h1)
+
+let test_duplicates () =
+  let h = int_heap [ 1; 1; 1 ] in
+  Alcotest.(check (list int)) "all kept" [ 1; 1; 1 ]
+    (Sim.Pairing_heap.to_sorted_list h)
+
+let test_custom_cmp () =
+  (* max-heap via reversed comparison *)
+  let h = Sim.Pairing_heap.of_list ~cmp:(fun a b -> compare b a) [ 1; 5; 3 ] in
+  Alcotest.(check (option int)) "max first" (Some 5)
+    (Sim.Pairing_heap.peek_min h)
+
+let test_stability_by_seq () =
+  (* The engine totally orders events with (time, seq); equal times pop
+     in insertion order when seq is part of the element. *)
+  let cmp (t1, s1) (t2, s2) =
+    let c = compare (t1 : float) t2 in
+    if c <> 0 then c else compare (s1 : int) s2
+  in
+  let h =
+    Sim.Pairing_heap.of_list ~cmp [ (1.0, 0); (1.0, 1); (0.5, 2); (1.0, 3) ]
+  in
+  Alcotest.(check (list (pair (float 0.) int)))
+    "fifo among equal times"
+    [ (0.5, 2); (1.0, 0); (1.0, 1); (1.0, 3) ]
+    (Sim.Pairing_heap.to_sorted_list h)
+
+let prop_heapsort =
+  QCheck.Test.make ~name:"heap sorts like List.sort" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      Sim.Pairing_heap.to_sorted_list (int_heap xs) = List.sort compare xs)
+
+let prop_interleaved =
+  QCheck.Test.make ~name:"interleaved insert/pop keeps min invariant"
+    ~count:100
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let h = ref (Sim.Pairing_heap.empty ~cmp:compare) in
+      let model = ref [] in
+      List.for_all
+        (fun (is_insert, x) ->
+          if is_insert then begin
+            h := Sim.Pairing_heap.insert !h x;
+            model := x :: !model;
+            true
+          end
+          else
+            match (Sim.Pairing_heap.pop_min !h, !model) with
+            | None, [] -> true
+            | Some (y, rest), m ->
+                let min_model = List.fold_left min max_int m in
+                h := rest;
+                model :=
+                  (let rec remove = function
+                     | [] -> []
+                     | z :: zs -> if z = min_model then zs else z :: remove zs
+                   in
+                   remove m);
+                y = min_model
+            | _ -> false)
+        ops)
+
+let prop_size =
+  QCheck.Test.make ~name:"size tracks inserts" ~count:100
+    QCheck.(list int)
+    (fun xs -> Sim.Pairing_heap.size (int_heap xs) = List.length xs)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "sorted output" `Quick test_sorted_output;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    Alcotest.test_case "duplicates kept" `Quick test_duplicates;
+    Alcotest.test_case "custom comparison" `Quick test_custom_cmp;
+    Alcotest.test_case "fifo with seq tie-break" `Quick test_stability_by_seq;
+    QCheck_alcotest.to_alcotest prop_heapsort;
+    QCheck_alcotest.to_alcotest prop_interleaved;
+    QCheck_alcotest.to_alcotest prop_size;
+  ]

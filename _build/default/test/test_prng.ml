@@ -1,0 +1,135 @@
+let check_float = Alcotest.(check (float 1e-12))
+
+let test_determinism () =
+  let a = Sim.Prng.create 99L in
+  let b = Sim.Prng.create 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Prng.next_int64 a)
+      (Sim.Prng.next_int64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Sim.Prng.create 1L in
+  let b = Sim.Prng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Sim.Prng.next_int64 a = Sim.Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_copy_independent () =
+  let a = Sim.Prng.create 7L in
+  let b = Sim.Prng.copy a in
+  let xa = Sim.Prng.next_int64 a in
+  let xb = Sim.Prng.next_int64 b in
+  Alcotest.(check int64) "copy starts at same state" xa xb;
+  ignore (Sim.Prng.next_int64 a);
+  (* advancing a does not advance b *)
+  let xa2 = Sim.Prng.next_int64 a in
+  let xb2 = Sim.Prng.next_int64 b in
+  Alcotest.(check bool) "copies diverge after unequal draws" true (xa2 <> xb2)
+
+let test_split_independent () =
+  let parent = Sim.Prng.create 13L in
+  let child = Sim.Prng.split parent in
+  let child_draws = List.init 32 (fun _ -> Sim.Prng.next_int64 child) in
+  let parent_draws = List.init 32 (fun _ -> Sim.Prng.next_int64 parent) in
+  Alcotest.(check bool) "child stream not a copy of parent" true
+    (child_draws <> parent_draws)
+
+let test_float_bounds () =
+  let rng = Sim.Prng.create 3L in
+  for _ = 1 to 1000 do
+    let x = Sim.Prng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (x >= 0. && x < 2.5)
+  done
+
+let test_float_zero () =
+  let rng = Sim.Prng.create 3L in
+  check_float "bound 0 gives 0" 0. (Sim.Prng.float rng 0.)
+
+let test_float_range () =
+  let rng = Sim.Prng.create 4L in
+  for _ = 1 to 1000 do
+    let x = Sim.Prng.float_range rng (-1.5) 3.0 in
+    Alcotest.(check bool) "in [-1.5, 3.0)" true (x >= -1.5 && x < 3.0)
+  done
+
+let test_int_bounds () =
+  let rng = Sim.Prng.create 5L in
+  let seen = Array.make 10 false in
+  for _ = 1 to 1000 do
+    let x = Sim.Prng.int rng 10 in
+    Alcotest.(check bool) "in [0, 10)" true (x >= 0 && x < 10);
+    seen.(x) <- true
+  done;
+  Alcotest.(check bool) "all residues reached" true
+    (Array.for_all Fun.id seen)
+
+let test_int_invalid () =
+  let rng = Sim.Prng.create 5L in
+  Alcotest.check_raises "bound 0 rejected"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Sim.Prng.int rng 0))
+
+let test_bool_probabilities () =
+  let rng = Sim.Prng.create 6L in
+  let count p =
+    let c = ref 0 in
+    for _ = 1 to 2000 do
+      if Sim.Prng.bool rng p then incr c
+    done;
+    !c
+  in
+  Alcotest.(check int) "p=0 never true" 0 (count 0.);
+  Alcotest.(check int) "p=1 always true" 2000 (count 1.);
+  let half = count 0.5 in
+  Alcotest.(check bool) "p=0.5 roughly half" true (half > 800 && half < 1200)
+
+let test_shuffle_permutation () =
+  let rng = Sim.Prng.create 8L in
+  let arr = Array.init 20 Fun.id in
+  Sim.Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 20 Fun.id) sorted
+
+let test_pick () =
+  let rng = Sim.Prng.create 9L in
+  for _ = 1 to 100 do
+    let x = Sim.Prng.pick rng [ 1; 2; 3 ] in
+    Alcotest.(check bool) "member" true (List.mem x [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty list rejected"
+    (Invalid_argument "Prng.pick: empty list") (fun () ->
+      ignore (Sim.Prng.pick rng []))
+
+let uniformity =
+  QCheck.Test.make ~name:"prng floats roughly uniform" ~count:20
+    QCheck.(int64)
+    (fun seed ->
+      let rng = Sim.Prng.create seed in
+      let buckets = Array.make 4 0 in
+      for _ = 1 to 400 do
+        let x = Sim.Prng.float rng 1.0 in
+        buckets.(int_of_float (x *. 4.)) <- buckets.(int_of_float (x *. 4.)) + 1
+      done;
+      Array.for_all (fun c -> c > 40 && c < 200) buckets)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split independent" `Quick test_split_independent;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "float zero bound" `Quick test_float_zero;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int bounds and coverage" `Quick test_int_bounds;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "bool probabilities" `Quick test_bool_probabilities;
+    Alcotest.test_case "shuffle is a permutation" `Quick
+      test_shuffle_permutation;
+    Alcotest.test_case "pick" `Quick test_pick;
+    QCheck_alcotest.to_alcotest uniformity;
+  ]

@@ -1,0 +1,280 @@
+(* Cross-protocol property tests: agreement, validity and post-TS
+   termination under randomly generated scenarios (random network, random
+   crash/restart churn, random sizes and seeds).
+
+   These are the repository's main safety net: each protocol must satisfy
+   consensus on every admissible execution the generator can produce. *)
+
+let delta = 0.01
+
+(* A random admissible scenario: n in 3..9; some processes crash before
+   TS (at most a minority permanently); crashed ones may restart; the
+   network is drawn from the admissible pre-TS behaviours. *)
+type case = {
+  n : int;
+  seed : int64;
+  ts : float;
+  net : int;  (* index into networks *)
+  churn : (int * float * float option) list;
+      (* (proc, crash_at_frac, restart_at_frac option) *)
+}
+
+let networks =
+  [|
+    ("lossy", Sim.Network.eventually_synchronous ());
+    ("silent", Sim.Network.silent_until_ts);
+    ("det", Sim.Network.deterministic_after_ts);
+    ("sync", Sim.Network.always_synchronous);
+    ( "dup",
+      Sim.Network.with_duplication ~prob:0.4
+        (Sim.Network.eventually_synchronous ()) );
+  |]
+
+let case_gen =
+  QCheck.Gen.(
+    let* n = int_range 3 9 in
+    let* seed = map Int64.of_int (int_range 1 1_000_000) in
+    let* ts = float_range 0.1 1.0 in
+    let* net = int_range 0 (Array.length networks - 1) in
+    (* pick up to majority-1 distinct victims *)
+    let max_victims = n - Consensus.Quorum.majority n in
+    let* n_victims = int_range 0 max_victims in
+    let* churn =
+      list_repeat n_victims
+        (let* p = int_range 0 (n - 1) in
+         let* crash_frac = float_range 0.05 0.9 in
+         let* restarts = bool in
+         let* restart_frac = float_range 0.05 2.0 in
+         return (p, crash_frac, if restarts then Some restart_frac else None))
+    in
+    return { n; seed; ts; net; churn })
+
+let case_print c =
+  Printf.sprintf "{n=%d; seed=%Ld; ts=%.2f; net=%s; churn=%s}" c.n c.seed c.ts
+    (fst networks.(c.net))
+    (String.concat ";"
+       (List.map
+          (fun (p, c, r) ->
+            Printf.sprintf "p%d@%.2f%s" p c
+              (match r with Some r -> Printf.sprintf "->%.2f" r | None -> ""))
+          c.churn))
+
+let case_arb = QCheck.make ~print:case_print case_gen
+
+(* Build a valid fault schedule from the churn spec: drop duplicate
+   victims, order crash before restart, and keep the paper's assumption
+   "a majority of the processes are nonfaulty at time TS": skip any churn
+   entry that would leave fewer than a majority up at TS. *)
+let faults_of_case c =
+  let seen = Hashtbl.create 8 in
+  let majority = Consensus.Quorum.majority c.n in
+  let down_at_ts = ref 0 in
+  let events =
+    List.concat_map
+      (fun (p, crash_frac, restart) ->
+        if Hashtbl.mem seen p then []
+        else begin
+          let crash_at = crash_frac *. c.ts in
+          let crash = Sim.Fault.crash ~at:crash_at p in
+          let entry =
+            match restart with
+            | None -> Some (true, [ crash ])
+            | Some frac ->
+                let restart_at = crash_at +. (frac *. c.ts) +. 0.001 in
+                Some
+                  ( restart_at > c.ts,
+                    [ crash; Sim.Fault.restart ~at:restart_at p ] )
+          in
+          match entry with
+          | Some (counts_as_down_at_ts, evs) ->
+              if counts_as_down_at_ts && !down_at_ts >= c.n - majority then []
+              else begin
+                Hashtbl.add seen p ();
+                if counts_as_down_at_ts then incr down_at_ts;
+                evs
+              end
+          | None -> []
+        end)
+      c.churn
+  in
+  Sim.Fault.make events
+
+(* Processes that are up from TS on (never crash after their last event)
+   plus restarted ones must decide by the end of a generous horizon. *)
+let check_consensus ~name (r : _ Sim.Engine.run_result) ~must_decide =
+  match Harness.Measure.check_safety r with
+  | Error msg -> QCheck.Test.fail_reportf "%s: %s" name msg
+  | Ok () ->
+      List.for_all (fun p -> r.Sim.Engine.decision_values.(p) <> None)
+        must_decide
+      ||
+      QCheck.Test.fail_reportf "%s: process failed to decide by horizon" name
+
+let horizon_of c = Stdlib.max (c.ts *. 3.) (c.ts +. (300. *. delta))
+
+let scenario_of c =
+  let faults = faults_of_case c in
+  ( faults,
+    Sim.Scenario.make ~name:"prop" ~n:c.n ~ts:c.ts ~delta ~seed:c.seed
+      ~network:(snd networks.(c.net))
+      ~faults ~horizon:(horizon_of c) () )
+
+let must_decide_of c faults =
+  (* every process alive at the horizon must have decided *)
+  Sim.Fault.alive_set faults ~n:c.n ~time:(horizon_of c)
+
+let consensus_property ~name ~run =
+  QCheck.Test.make ~name ~count:60 case_arb (fun c ->
+      let faults, sc = scenario_of c in
+      match Sim.Fault.validate ~n:c.n faults with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let r = run c sc faults in
+          check_consensus ~name r ~must_decide:(must_decide_of c faults))
+
+let prop_modified_paxos =
+  consensus_property ~name:"modified paxos: consensus on random scenarios"
+    ~run:(fun c sc _faults ->
+      let cfg = Dgl.Config.make ~n:c.n ~delta () in
+      Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg))
+
+let prop_modified_paxos_ungated_safety =
+  (* Without the gate the latency bound is lost but safety must hold. *)
+  QCheck.Test.make ~name:"ungated modified paxos: still safe" ~count:40
+    case_arb (fun c ->
+      let faults, sc = scenario_of c in
+      match Sim.Fault.validate ~n:c.n faults with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let cfg = Dgl.Config.make ~n:c.n ~delta () in
+          let options =
+            { Dgl.Modified_paxos.default_options with session_gate = false }
+          in
+          let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol ~options cfg) in
+          Harness.Measure.check_safety r = Ok ())
+
+let prop_traditional_paxos =
+  consensus_property ~name:"traditional paxos: consensus on random scenarios"
+    ~run:(fun c sc faults ->
+      let oracle =
+        Baselines.Leader_election.make ~n:c.n ~ts:c.ts ~delta ~faults ()
+      in
+      Sim.Engine.run sc
+        (Baselines.Traditional_paxos.protocol ~n:c.n ~delta ~oracle ()))
+
+let prop_rotating =
+  consensus_property ~name:"rotating coordinator: consensus on random scenarios"
+    ~run:(fun c sc _faults ->
+      Sim.Engine.run sc
+        (Baselines.Rotating_coordinator.protocol ~n:c.n ~delta ()))
+
+let prop_bconsensus =
+  consensus_property ~name:"modified b-consensus: consensus on random scenarios"
+    ~run:(fun c sc _faults ->
+      Sim.Engine.run sc
+        (Bconsensus.Modified_b_consensus.protocol ~n:c.n ~delta ~rho:0. ()))
+
+let prop_bound_holds =
+  (* The paper's bound, as a property over random fault-free-after-TS
+     scenarios: every process alive at TS decides by TS + bound. *)
+  QCheck.Test.make ~name:"modified paxos: decision bound holds" ~count:60
+    case_arb (fun c ->
+      let faults, sc = scenario_of c in
+      match Sim.Fault.validate ~n:c.n faults with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let cfg = Dgl.Config.make ~n:c.n ~delta () in
+          let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
+          let bound = Dgl.Config.decision_bound cfg /. delta in
+          (* only processes alive from TS onward are covered by the bound *)
+          let alive_at_ts =
+            List.filter
+              (fun p ->
+                Sim.Fault.alive_at faults ~proc:p ~time:c.ts
+                && Sim.Fault.alive_at faults ~proc:p ~time:(horizon_of c))
+              (List.init c.n Fun.id)
+          in
+          let worst =
+            Harness.Measure.worst_latency r ~procs:alive_at_ts
+              ~from_time:c.ts ~delta
+          in
+          worst <= bound
+          || QCheck.Test.fail_reportf "worst %.1f > bound %.1f" worst bound)
+
+(* The proof's step-1 invariant, checked from traces: a Start Phase 1
+   entering session s requires that a majority of processes were already
+   in session >= s-1 at that moment (every process boots in session 0). *)
+let session_entries_of_trace trace =
+  List.filter_map
+    (fun e ->
+      match e with
+      | Sim.Trace.Note { t; proc; text } -> (
+          match String.split_on_char ':' text with
+          | [ "session"; s; how ] -> Some (t, proc, int_of_string s, how)
+          | _ -> None)
+      | _ -> None)
+    (Sim.Trace.entries trace)
+
+let check_session_gate_invariant ~n trace =
+  let entries = session_entries_of_trace trace in
+  let session_reached_before t0 p =
+    (* highest session p is known (from the trace) to have entered
+       strictly before t0; 0 at boot *)
+    List.fold_left
+      (fun acc (t, q, s, _) -> if q = p && t < t0 then Stdlib.max acc s else acc)
+      0 entries
+  in
+  List.for_all
+    (fun (t, _p, s, how) ->
+      how <> "start" || s < 2
+      ||
+      let in_prev =
+        List.length
+          (List.filter
+             (fun q -> session_reached_before t q >= s - 1)
+             (List.init n Fun.id))
+      in
+      Consensus.Quorum.is_quorum ~n in_prev)
+    entries
+
+let prop_session_gate_invariant =
+  QCheck.Test.make
+    ~name:"modified paxos: step-1 invariant (gated session entry)" ~count:40
+    case_arb (fun c ->
+      let faults, sc = scenario_of c in
+      match Sim.Fault.validate ~n:c.n faults with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () ->
+          let sc = { sc with Sim.Scenario.record_trace = true } in
+          let cfg = Dgl.Config.make ~n:c.n ~delta () in
+          let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
+          check_session_gate_invariant ~n:c.n r.Sim.Engine.trace
+          || QCheck.Test.fail_reportf
+               "a Start Phase 1 ran without a majority in the previous \
+                session")
+
+let prop_determinism =
+  QCheck.Test.make ~name:"identical scenarios give identical executions"
+    ~count:20 case_arb (fun c ->
+      let _, sc = scenario_of c in
+      let run () =
+        let cfg = Dgl.Config.make ~n:c.n ~delta () in
+        let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
+        ( Array.to_list r.Sim.Engine.decision_times,
+          r.Sim.Engine.messages_sent,
+          r.Sim.Engine.end_time )
+      in
+      run () = run ())
+
+let suite =
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
+    [
+      prop_modified_paxos;
+      prop_modified_paxos_ungated_safety;
+      prop_traditional_paxos;
+      prop_rotating;
+      prop_bconsensus;
+      prop_bound_holds;
+      prop_session_gate_invariant;
+      prop_determinism;
+    ]

@@ -1,0 +1,168 @@
+(* The thread-based real-time executor runs the very same protocol
+   records as the simulator.  Wall-clock timing is inherently noisy, so
+   these tests check safety exactly and liveness with generous margins. *)
+
+let cfg ?(n = 3) ?(delta = 0.02) ?(ts = 0.15) ?(duration = 3.0)
+    ?(pre_loss = 1.0) ?(seed = 7L) ?(faults = []) () =
+  { Realtime.Threads_engine.n; delta; ts; duration; pre_loss; seed; faults }
+
+let proposals n = Array.init n (fun i -> 100 + i)
+
+let check_consensus ~what ~proposals:props
+    (r : Realtime.Threads_engine.result) =
+  Alcotest.(check bool) (what ^ ": no violation") false r.agreement_violation;
+  let values =
+    Array.to_list r.decisions |> List.filter_map (Option.map snd)
+  in
+  Alcotest.(check int)
+    (what ^ ": everyone decided")
+    (Array.length r.decisions)
+    (List.length values);
+  (match values with
+  | [] -> Alcotest.fail (what ^ ": no decisions")
+  | v :: rest ->
+      List.iter (fun v' -> Alcotest.(check int) (what ^ ": agree") v v') rest;
+      Alcotest.(check bool)
+        (what ^ ": validity")
+        true
+        (Array.exists (( = ) v) props));
+  ()
+
+let test_modified_paxos_realtime () =
+  let c = cfg () in
+  let props = proposals c.Realtime.Threads_engine.n in
+  let dgl_cfg =
+    Dgl.Config.make ~n:c.Realtime.Threads_engine.n
+      ~delta:c.Realtime.Threads_engine.delta ()
+  in
+  let r =
+    Realtime.Threads_engine.run c ~proposals:props
+      (Dgl.Modified_paxos.protocol dgl_cfg)
+  in
+  check_consensus ~what:"modified paxos" ~proposals:props r;
+  (* messages were silenced before ts, so decisions come after it *)
+  Array.iter
+    (function
+      | Some (t, _) ->
+          Alcotest.(check bool) "decided after ts" true
+            (t >= c.Realtime.Threads_engine.ts)
+      | None -> ())
+    r.decisions
+
+let test_b_consensus_realtime () =
+  let c = cfg ~delta:0.02 () in
+  let props = proposals c.Realtime.Threads_engine.n in
+  let r =
+    Realtime.Threads_engine.run c ~proposals:props
+      (Bconsensus.Modified_b_consensus.protocol
+         ~n:c.Realtime.Threads_engine.n ~delta:c.Realtime.Threads_engine.delta
+         ~rho:0. ())
+  in
+  check_consensus ~what:"b-consensus" ~proposals:props r
+
+let test_stable_from_start_is_fast () =
+  (* with ts = 0 the protocol should finish long before the deadline *)
+  let c = cfg ~ts:0. ~duration:3.0 ~pre_loss:0. () in
+  let props = proposals c.Realtime.Threads_engine.n in
+  let dgl_cfg =
+    Dgl.Config.make ~n:c.Realtime.Threads_engine.n
+      ~delta:c.Realtime.Threads_engine.delta ()
+  in
+  let r =
+    Realtime.Threads_engine.run c ~proposals:props
+      (Dgl.Modified_paxos.protocol dgl_cfg)
+  in
+  check_consensus ~what:"stable start" ~proposals:props r;
+  Alcotest.(check bool) "well under the deadline" true (r.elapsed < 2.0)
+
+let test_smr_over_threads () =
+  (* the most complex protocol record in the repository, over real
+     threads: replicated logs must converge *)
+  let c = cfg ~n:3 ~delta:0.02 ~ts:0.1 ~duration:4.0 () in
+  let n = c.Realtime.Threads_engine.n in
+  let dgl_cfg = Dgl.Config.make ~n ~delta:c.Realtime.Threads_engine.delta () in
+  let workloads =
+    Array.init n (fun p ->
+        if p <> 1 then []
+        else
+          List.init 3 (fun k ->
+              ( 0.15 +. (0.1 *. float_of_int k),
+                Smr.Command.make ~id:k (Smr.Command.Add (k + 1)) )))
+  in
+  let r =
+    Realtime.Threads_engine.run c ~proposals:(proposals n)
+      (Smr.Multi_paxos.protocol dgl_cfg ~workloads)
+  in
+  Alcotest.(check bool) "no log divergence" false r.agreement_violation;
+  Array.iteri
+    (fun p d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "replica %d converged" p)
+        true (d <> None))
+    r.decisions
+
+let test_crash_restart_over_threads () =
+  (* a process crashes mid-chaos and restarts after stabilization: it
+     must rebuild from stable storage and still decide *)
+  let faults =
+    [
+      Realtime.Threads_engine.Crash (0.05, 2);
+      Realtime.Threads_engine.Restart (0.4, 2);
+    ]
+  in
+  let c = cfg ~ts:0.15 ~duration:4.0 ~faults () in
+  let props = proposals c.Realtime.Threads_engine.n in
+  let dgl_cfg =
+    Dgl.Config.make ~n:c.Realtime.Threads_engine.n
+      ~delta:c.Realtime.Threads_engine.delta ()
+  in
+  let r =
+    Realtime.Threads_engine.run c ~proposals:props
+      (Dgl.Modified_paxos.protocol dgl_cfg)
+  in
+  check_consensus ~what:"crash+restart" ~proposals:props r;
+  (match r.decisions.(2) with
+  | Some (t, _) ->
+      Alcotest.(check bool) "restarted process decided after its restart"
+        true (t >= 0.4)
+  | None -> Alcotest.fail "restarted process never decided")
+
+let test_config_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  let c = cfg () in
+  let props = proposals 3 in
+  let proto = Dgl.Modified_paxos.protocol (Dgl.Config.make ~n:3 ~delta:0.02 ()) in
+  Alcotest.(check bool) "n=0" true
+    (bad (fun () ->
+         Realtime.Threads_engine.run
+           { c with Realtime.Threads_engine.n = 0 }
+           ~proposals:props proto));
+  Alcotest.(check bool) "proposal arity" true
+    (bad (fun () ->
+         Realtime.Threads_engine.run c ~proposals:[| 1 |] proto));
+  Alcotest.(check bool) "bad loss" true
+    (bad (fun () ->
+         Realtime.Threads_engine.run
+           { c with Realtime.Threads_engine.pre_loss = 2.0 }
+           ~proposals:props proto));
+  Alcotest.(check bool) "bad fault spec" true
+    (bad (fun () ->
+         Realtime.Threads_engine.run
+           { c with
+             Realtime.Threads_engine.faults =
+               [ Realtime.Threads_engine.Crash (0.1, 99) ] }
+           ~proposals:props proto))
+
+let suite =
+  [
+    Alcotest.test_case "modified paxos over threads" `Slow
+      test_modified_paxos_realtime;
+    Alcotest.test_case "b-consensus over threads" `Slow
+      test_b_consensus_realtime;
+    Alcotest.test_case "stable start is fast" `Slow
+      test_stable_from_start_is_fast;
+    Alcotest.test_case "smr over threads" `Slow test_smr_over_threads;
+    Alcotest.test_case "crash+restart over threads" `Slow
+      test_crash_restart_over_threads;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+  ]

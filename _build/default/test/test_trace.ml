@@ -1,0 +1,66 @@
+let send t = Sim.Trace.Send { t; src = 0; dst = 1; info = "x" }
+
+let test_disabled_noop () =
+  let tr = Sim.Trace.create ~enabled:false in
+  Sim.Trace.record tr (send 1.0);
+  Alcotest.(check int) "nothing recorded" 0 (Sim.Trace.length tr);
+  Alcotest.(check bool) "enabled reports false" false (Sim.Trace.enabled tr)
+
+let test_order_preserved () =
+  let tr = Sim.Trace.create ~enabled:true in
+  Sim.Trace.record tr (send 1.0);
+  Sim.Trace.record tr (send 2.0);
+  Sim.Trace.record tr (send 3.0);
+  Alcotest.(check (list (float 0.)))
+    "chronological" [ 1.0; 2.0; 3.0 ]
+    (List.map Sim.Trace.time_of (Sim.Trace.entries tr));
+  Alcotest.(check int) "length" 3 (Sim.Trace.length tr)
+
+let test_sends_in_window () =
+  let tr = Sim.Trace.create ~enabled:true in
+  List.iter (fun t -> Sim.Trace.record tr (send t)) [ 0.5; 1.0; 1.5; 2.0 ];
+  Sim.Trace.record tr (Sim.Trace.Decide { t = 1.2; proc = 0; value = 7 });
+  Alcotest.(check int) "window [1,2]" 3
+    (Sim.Trace.sends_in_window tr ~lo:1.0 ~hi:2.0);
+  Alcotest.(check int) "empty window" 0
+    (Sim.Trace.sends_in_window tr ~lo:5.0 ~hi:6.0)
+
+let test_decisions () =
+  let tr = Sim.Trace.create ~enabled:true in
+  Sim.Trace.record tr (Sim.Trace.Decide { t = 1.0; proc = 2; value = 9 });
+  Sim.Trace.record tr (send 1.5);
+  Sim.Trace.record tr (Sim.Trace.Decide { t = 2.0; proc = 0; value = 9 });
+  Alcotest.(check (list (triple int (float 0.) int)))
+    "decisions extracted"
+    [ (2, 1.0, 9); (0, 2.0, 9) ]
+    (Sim.Trace.decisions tr)
+
+let test_pp_entries () =
+  (* Every constructor renders without raising. *)
+  let entries =
+    [
+      Sim.Trace.Send { t = 1.; src = 0; dst = 1; info = "m" };
+      Sim.Trace.Deliver { t = 1.; src = 0; dst = 1; info = "m" };
+      Sim.Trace.Drop { t = 1.; src = 0; dst = 1; info = "m" };
+      Sim.Trace.Timer_set { t = 1.; proc = 0; tag = 3; fire_at = 2. };
+      Sim.Trace.Timer_fire { t = 2.; proc = 0; tag = 3 };
+      Sim.Trace.Crash { t = 1.; proc = 0 };
+      Sim.Trace.Restart { t = 2.; proc = 0 };
+      Sim.Trace.Decide { t = 3.; proc = 0; value = 1 };
+      Sim.Trace.Note { t = 3.; proc = 0; text = "hello" };
+    ]
+  in
+  List.iter
+    (fun e ->
+      let s = Format.asprintf "%a" Sim.Trace.pp_entry e in
+      Alcotest.(check bool) "non-empty rendering" true (String.length s > 0))
+    entries
+
+let suite =
+  [
+    Alcotest.test_case "disabled trace is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "order preserved" `Quick test_order_preserved;
+    Alcotest.test_case "sends in window" `Quick test_sends_in_window;
+    Alcotest.test_case "decisions extracted" `Quick test_decisions;
+    Alcotest.test_case "pp renders all constructors" `Quick test_pp_entries;
+  ]
