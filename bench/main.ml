@@ -249,6 +249,18 @@ let heap_churn () =
     | None -> ()
   done
 
+(* Same churn workload on the mutable binary heap that replaced the
+   pairing heap in the engine hot path. *)
+let event_queue_churn () =
+  let cmp (a : float * int) b = compare a b in
+  let q = Sim.Event_queue.create ~cmp () in
+  for i = 0 to 999 do
+    Sim.Event_queue.add q (float_of_int ((i * 7919) mod 997), i)
+  done;
+  for _ = 0 to 999 do
+    ignore (Sim.Event_queue.pop_min q)
+  done
+
 let prng_draws () =
   let rng = Sim.Prng.create 1L in
   for _ = 0 to 999 do
@@ -287,10 +299,14 @@ let tests =
       Test.make ~name:"a3/nojump-run" (Staged.stage a3_once);
       Test.make ~name:"a4/progress-gate-run" (Staged.stage a4_once);
       Test.make ~name:"substrate/pairing-heap-1k" (Staged.stage heap_churn);
+      Test.make ~name:"substrate/event-queue-1k"
+        (Staged.stage event_queue_churn);
       Test.make ~name:"substrate/prng-1k" (Staged.stage prng_draws);
       Test.make ~name:"substrate/ordering-oracle-200" (Staged.stage oracle_churn);
     ]
 
+(* [run_micro] prints the human table and returns
+   [(name, ns_per_run option, r_square option)] rows for the JSON dump. *)
 let run_micro () =
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -305,17 +321,74 @@ let run_micro () =
   let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Printf.printf "--- micro-benchmarks (monotonic clock, OLS ns/run) ---\n";
-  List.iter
-    (fun (name, o) ->
-      match Analyze.OLS.estimates o with
-      | Some [ est ] ->
-          Printf.printf "  %-36s %12.0f ns/run  (r2 %s)\n" name est
-            (match Analyze.OLS.r_square o with
-            | Some r2 -> Printf.sprintf "%.3f" r2
-            | None -> "n/a")
-      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
-    rows;
-  print_newline ()
+  let rows =
+    List.map
+      (fun (name, o) ->
+        let est =
+          match Analyze.OLS.estimates o with
+          | Some [ est ] -> Some est
+          | _ -> None
+        in
+        let r2 = Analyze.OLS.r_square o in
+        (match est with
+        | Some est ->
+            Printf.printf "  %-36s %12.0f ns/run  (r2 %s)\n" name est
+              (match r2 with
+              | Some r2 -> Printf.sprintf "%.3f" r2
+              | None -> "n/a")
+        | None -> Printf.printf "  %-36s (no estimate)\n" name);
+        (name, est, r2))
+      rows
+  in
+  print_newline ();
+  rows
+
+(* --- machine-readable results dump ----------------------------------- *)
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let json_opt_float = function Some f -> json_float f | None -> "null"
+
+let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"speed\": %s,\n" (json_string speed);
+  p "  \"domains\": %d,\n" domains;
+  p "  \"experiments\": {\n";
+  p "    \"wall_clock_s\": %s,\n" (json_float wall);
+  p "    \"serial_wall_clock_s\": %s,\n" (json_opt_float serial_wall);
+  p "    \"parallel_speedup\": %s\n"
+    (match serial_wall with
+    | Some s when wall > 0. -> json_float (s /. wall)
+    | _ -> "null");
+  p "  },\n";
+  p "  \"micro_ns_per_run\": [";
+  List.iteri
+    (fun i (name, est, r2) ->
+      p "%s\n    { \"name\": %s, \"ns_per_run\": %s, \"r_square\": %s }"
+        (if i = 0 then "" else ",")
+        (json_string name) (json_opt_float est) (json_opt_float r2))
+    micro;
+  p "\n  ]\n}\n";
+  close_out oc
 
 let () =
   let speed =
@@ -323,9 +396,19 @@ let () =
     | Some "full" -> Harness.Experiments.Full
     | _ -> Harness.Experiments.Quick
   in
-  if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then run_micro ();
-  let t0 = Unix.gettimeofday () in
-  let tables = Harness.Experiments.all ~speed () in
+  let speed_name =
+    match speed with Harness.Experiments.Full -> "full" | Quick -> "quick"
+  in
+  let micro =
+    if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then run_micro () else []
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let domains = Harness.Measure.domain_count () in
+  let tables, wall = time (fun () -> Harness.Experiments.all ~speed ()) in
   Harness.Report.print_all Format.std_formatter tables;
   Format.printf "@.";
   Harness.Report.bar_chart Format.std_formatter
@@ -334,6 +417,27 @@ let () =
        algorithm under its worst admissible adversary"
     ~unit_label:"delta"
     (Harness.Experiments.headline ~speed ());
-  Format.printf "@.(experiments regenerated in %.1fs, speed=%s)@."
-    (Unix.gettimeofday () -. t0)
-    (match speed with Harness.Experiments.Full -> "full" | Quick -> "quick")
+  (* Re-run the sweeps on one domain so the JSON records the speedup the
+     pool delivers on this machine. *)
+  let serial_wall =
+    if domains > 1 then
+      let _, w =
+        time (fun () ->
+            Harness.Measure.with_domains 1 (fun () ->
+                Harness.Experiments.all ~speed ()))
+      in
+      Some w
+    else None
+  in
+  Format.printf "@.(experiments regenerated in %.1fs on %d domain%s%s, \
+                 speed=%s)@."
+    wall domains
+    (if domains = 1 then "" else "s")
+    (match serial_wall with
+    | Some s when wall > 0. ->
+        Printf.sprintf "; serial %.1fs, speedup %.2fx" s (s /. wall)
+    | _ -> "")
+    speed_name;
+  let path = "BENCH_RESULTS.json" in
+  write_results ~path ~speed:speed_name ~domains ~wall ~serial_wall ~micro;
+  Format.printf "(wrote %s)@." path

@@ -12,23 +12,36 @@ let seeds = function Quick -> 3 | Full -> 10
 
 let seed_base = 42L
 
-(* Accumulates safety violations across the runs of one experiment. *)
-let safety_notes = ref []
-
-let reset_notes () = safety_notes := []
-
-let check r =
+(* Safety violations are collected per row.  Rows fan out across domains
+   ({!Measure.par_map}), so each row body receives a private collector;
+   {!par_collect} merges the collected notes in row order, which keeps
+   the rendered tables byte-identical whatever SIM_DOMAINS is. *)
+let check notes r =
   match Measure.check_safety r with
   | Ok () -> ()
   | Error msg ->
-      safety_notes :=
+      notes :=
         Printf.sprintf "%s (scenario %s, seed %Ld)" msg
           r.Sim.Engine.scenario.Sim.Scenario.name
           r.Sim.Engine.scenario.Sim.Scenario.seed
-        :: !safety_notes
+        :: !notes
 
-let drain_notes ~pass_note =
-  match !safety_notes with
+(* [par_collect xs f] maps [f] over [xs] on the sweep pool, giving each
+   element a fresh note collector; returns the results in input order
+   and the notes merged in input order (each element's notes in
+   occurrence order). *)
+let par_collect xs f =
+  let pairs =
+    Measure.par_map
+      (fun x ->
+        let notes = ref [] in
+        let y = f notes x in
+        (y, List.rev !notes))
+      xs
+  in
+  (List.map fst pairs, List.concat_map snd pairs)
+
+let drain_notes ~pass_note = function
   | [] -> [ pass_note ]
   | notes -> ("SAFETY VIOLATIONS DETECTED:" :: notes) @ [ pass_note ]
 
@@ -37,12 +50,10 @@ let drain_notes ~pass_note =
 (* ------------------------------------------------------------------ *)
 
 let e1 ?(speed = Quick) () =
-  reset_notes ();
   let cfg_for n = Dgl.Config.make ~n ~delta () in
   let bound = Dgl.Config.decision_bound (cfg_for 3) /. delta in
-  let rows =
-    List.map
-      (fun n ->
+  let rows, notes =
+    par_collect (sizes speed) (fun notes n ->
         let victims = Adversaries.faulty_minority ~n in
         let faults = Sim.Fault.make ~initially_down:victims [] in
         let live = Measure.procs ~n ~except:victims () in
@@ -52,7 +63,7 @@ let e1 ?(speed = Quick) () =
               ()
           in
           let r = Sim.Engine.run ~injections sc (Dgl.Modified_paxos.protocol (cfg_for n)) in
-          check r;
+          check notes r;
           Measure.worst_latency r ~procs:live ~from_time:ts ~delta
         in
         let lat_det =
@@ -79,7 +90,6 @@ let e1 ?(speed = Quick) () =
           Report.cell_f bound;
           Report.cell_bool (worst <= bound);
         ])
-      (sizes speed)
   in
   Report.make ~id:"E1" ~title:"Modified Paxos: decision latency after TS"
     ~claim:
@@ -92,7 +102,8 @@ let e1 ?(speed = Quick) () =
          ~pass_note:
            "adversaries: faulty minority + injected session-1 obsolete \
             ballots (deterministic net), and 50%-loss random pre-TS net; \
-            latency in units of delta")
+            latency in units of delta"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -100,11 +111,9 @@ let e1 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e2 ?(speed = Quick) () =
-  reset_notes ();
   let theta = 2. *. delta in
-  let rows =
-    List.map
-      (fun n ->
+  let rows, notes =
+    par_collect (sizes speed) (fun notes n ->
         let victims = Adversaries.faulty_minority ~n in
         let faults = Sim.Fault.make ~initially_down:victims [] in
         let live = Measure.procs ~n ~except:victims () in
@@ -122,7 +131,7 @@ let e2 ?(speed = Quick) () =
         let oracle = Baselines.Leader_election.make ~n ~ts ~delta ~faults () in
         let proto = Baselines.Traditional_paxos.protocol ~n ~delta ~oracle () in
         let r = Sim.Engine.run ~injections sc proto in
-        check r;
+        check notes r;
         let worst = Measure.worst_latency r ~procs:live ~from_time:ts ~delta in
         let k = List.length victims in
         [
@@ -131,7 +140,6 @@ let e2 ?(speed = Quick) () =
           Report.cell_latency worst;
           Report.cell_f (worst /. float_of_int k);
         ])
-      (sizes speed)
   in
   Report.make ~id:"E2"
     ~title:"Traditional Paxos: obsolete high ballots cost O(N*delta)"
@@ -145,7 +153,8 @@ let e2 ?(speed = Quick) () =
          ~pass_note:
            "deterministic-delay net; ballot i lands mid-phase-2 of the \
             leader's retry i; expect ~4 delta per obsolete ballot \
-            (linear), vs E1's flat bound")
+            (linear), vs E1's flat bound"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -153,10 +162,8 @@ let e2 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e3 ?(speed = Quick) () =
-  reset_notes ();
-  let rows =
-    List.map
-      (fun n ->
+  let rows, notes =
+    par_collect (sizes speed) (fun notes n ->
         let f = n - Consensus.Quorum.majority n in
         let dead = List.init f (fun i -> i) in
         let faults = Sim.Fault.make ~initially_down:dead [] in
@@ -169,7 +176,7 @@ let e3 ?(speed = Quick) () =
               in
               let proto = Baselines.Rotating_coordinator.protocol ~n ~delta () in
               let r = Sim.Engine.run sc proto in
-              check r;
+              check notes r;
               Measure.worst_latency r ~procs:live ~from_time:ts ~delta)
         in
         let worst = List.fold_left Float.max 0. lats in
@@ -180,7 +187,6 @@ let e3 ?(speed = Quick) () =
           Report.cell_latency worst;
           Report.cell_f (worst /. float_of_int f);
         ])
-      (sizes speed)
   in
   Report.make ~id:"E3"
     ~title:"Rotating coordinator: dead coordinators cost O(N*delta)"
@@ -193,7 +199,8 @@ let e3 ?(speed = Quick) () =
       (drain_notes
          ~pass_note:
            "the ceil(N/2)-1 lowest-id processes are down; round timeout = \
-            4 delta, so expect ~4 delta per dead coordinator")
+            4 delta, so expect ~4 delta per dead coordinator"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -201,14 +208,12 @@ let e3 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e4 ?(speed = Quick) () =
-  reset_notes ();
   let n = 5 in
   let cfg = Dgl.Config.make ~n ~delta () in
   let bound = Dgl.Config.restart_bound cfg /. delta in
   let offsets = [ 10.; 20.; 40.; 80. ] in
-  let rows =
-    List.map
-      (fun off ->
+  let rows, notes =
+    par_collect offsets (fun notes off ->
         let restart_at = ts +. (off *. delta) in
         let faults =
           Sim.Fault.crash_then_restart ~crash_at:(ts /. 2.) ~restart_at 2
@@ -223,7 +228,7 @@ let e4 ?(speed = Quick) () =
                   ()
               in
               let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-              check r;
+              check notes r;
               Measure.worst_latency r ~procs:[ 2 ] ~from_time:restart_at
                 ~delta)
         in
@@ -235,7 +240,6 @@ let e4 ?(speed = Quick) () =
           Report.cell_f bound;
           Report.cell_bool (worst <= bound);
         ])
-      offsets
   in
   Report.make ~id:"E4" ~title:"Modified Paxos: decision latency after restart"
     ~claim:
@@ -249,7 +253,8 @@ let e4 ?(speed = Quick) () =
            "n=5; process 2 crashes before TS and restarts at the given \
             offset; latency measured from the restart instant; decision \
             broadcast OFF (the paper's optional optimization would shrink \
-            this to ~1 delta)")
+            this to ~1 delta)"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -257,11 +262,9 @@ let e4 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e5 ?(speed = Quick) () =
-  reset_notes ();
   let dgl_ref = Dgl.Config.decision_bound (Dgl.Config.make ~n:3 ~delta ()) /. delta in
-  let rows =
-    List.map
-      (fun n ->
+  let rows, notes =
+    par_collect (sizes speed) (fun notes n ->
         let victims = Adversaries.faulty_minority ~n in
         let faults = Sim.Fault.make ~initially_down:victims [] in
         let live = Measure.procs ~n ~except:victims () in
@@ -274,7 +277,7 @@ let e5 ?(speed = Quick) () =
             Bconsensus.Modified_b_consensus.protocol ~n ~delta ~rho:0. ()
           in
           let r = Sim.Engine.run sc proto in
-          check r;
+          check notes r;
           Measure.worst_latency r ~procs:live ~from_time:ts ~delta
         in
         let lats =
@@ -290,7 +293,6 @@ let e5 ?(speed = Quick) () =
           Report.cell_latency worst;
           Report.cell_f dgl_ref;
         ])
-      (sizes speed)
   in
   Report.make ~id:"E5"
     ~title:"Modified B-Consensus: decision latency after TS"
@@ -304,7 +306,8 @@ let e5 ?(speed = Quick) () =
       (drain_notes
          ~pass_note:
            "faulty minority down; both silent and 50%-loss pre-TS networks; \
-            2 delta oracle hold-back; flat in n like E1")
+            2 delta oracle hold-back; flat in n like E1"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -312,13 +315,11 @@ let e5 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e6 ?(speed = Quick) () =
-  reset_notes ();
   let n = 5 in
   let eps_factors = [ 0.125; 0.25; 0.5; 1.; 2.; 4. ] in
   let window = 30. *. delta in
-  let rows =
-    List.map
-      (fun f ->
+  let rows, notes =
+    par_collect eps_factors (fun notes f ->
         let epsilon = f *. delta in
         let sigma = Float.max (5. *. delta) (4. *. delta +. epsilon) in
         let cfg = Dgl.Config.make ~n ~delta ~epsilon ~sigma () in
@@ -333,7 +334,7 @@ let e6 ?(speed = Quick) () =
                   ()
               in
               let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-              check r;
+              check notes r;
               Measure.worst_latency r
                 ~procs:(Measure.procs ~n ())
                 ~from_time:ts ~delta)
@@ -347,7 +348,7 @@ let e6 ?(speed = Quick) () =
               ~horizon:(2. *. window) ()
           in
           let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-          check r;
+          check notes r;
           let sends =
             Sim.Trace.sends_in_window r.Sim.Engine.trace ~lo:window
               ~hi:(2. *. window)
@@ -362,7 +363,6 @@ let e6 ?(speed = Quick) () =
           Report.cell_f bound;
           Report.cell_f rate;
         ])
-      eps_factors
   in
   Report.make ~id:"E6" ~title:"Epsilon trade-off: message rate vs latency"
     ~claim:
@@ -378,7 +378,8 @@ let e6 ?(speed = Quick) () =
          ~pass_note:
            "n=5; latency under the silent-until-TS adversary; message rate \
             in the steady state of an already-stable run (algorithm keeps \
-            executing after deciding, as in the paper's model)")
+            executing after deciding, as in the paper's model)"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -386,10 +387,9 @@ let e6 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e7 ?(speed = Quick) () =
-  reset_notes ();
   let n = 5 in
   ignore speed;
-  let run ~prestart =
+  let run notes ~prestart =
     let options = { Dgl.Modified_paxos.default_options with prestart } in
     let cfg = Dgl.Config.make ~n ~delta () in
     let sc =
@@ -399,11 +399,15 @@ let e7 ?(speed = Quick) () =
         ~network:Sim.Network.deterministic_after_ts ()
     in
     let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol ~options cfg) in
-    check r;
+    check notes r;
     Measure.worst_latency r ~procs:(Measure.procs ~n ()) ~from_time:0. ~delta
   in
-  let pre = run ~prestart:true in
-  let cold = run ~prestart:false in
+  let lats, notes =
+    par_collect [ true; false ] (fun notes prestart -> run notes ~prestart)
+  in
+  let pre, cold =
+    match lats with [ a; b ] -> (a, b) | _ -> assert false
+  in
   let rows =
     [
       [ "phase 1 pre-executed"; Report.cell_latency pre; "2 one-way delays" ];
@@ -423,7 +427,8 @@ let e7 ?(speed = Quick) () =
          ~pass_note:
            "n=5, stable from time 0, deterministic delta-delay network; \
             every message takes exactly delta, so message delays are \
-            directly readable from the decision time")
+            directly readable from the decision time"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -431,12 +436,10 @@ let e7 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e8 ?(speed = Quick) () =
-  reset_notes ();
   let n = 5 in
   let sigmas = [ 4.05; 5.; 6.; 8.; 10. ] in
-  let rows =
-    List.map
-      (fun s ->
+  let rows, notes =
+    par_collect sigmas (fun notes s ->
         let sigma = s *. delta in
         let cfg = Dgl.Config.make ~n ~delta ~sigma () in
         let bound = Dgl.Config.decision_bound cfg /. delta in
@@ -447,7 +450,7 @@ let e8 ?(speed = Quick) () =
                   ~network:Sim.Network.silent_until_ts ()
               in
               let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-              check r;
+              check notes r;
               Measure.worst_latency r
                 ~procs:(Measure.procs ~n ())
                 ~from_time:ts ~delta)
@@ -460,7 +463,6 @@ let e8 ?(speed = Quick) () =
           Report.cell_f bound;
           Report.cell_bool (worst <= bound);
         ])
-      sigmas
   in
   Report.make ~id:"E8" ~title:"Sigma sensitivity"
     ~claim:
@@ -472,7 +474,8 @@ let e8 ?(speed = Quick) () =
     ~notes:
       (drain_notes
          ~pass_note:"n=5, silent-until-TS; larger sigma = lazier session \
-                     turnover = later worst-case decisions")
+                     turnover = later worst-case decisions"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -480,12 +483,10 @@ let e8 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e9 ?(speed = Quick) () =
-  reset_notes ();
   let n = 5 in
   let rhos = [ 0.; 0.02; 0.05; 0.1 ] in
-  let rows =
-    List.map
-      (fun rho ->
+  let rows, notes =
+    par_collect rhos (fun notes rho ->
         let cfg = Dgl.Config.make ~n ~delta ~rho () in
         let bound = Dgl.Config.decision_bound cfg /. delta in
         let lats =
@@ -495,7 +496,7 @@ let e9 ?(speed = Quick) () =
                   ~network:Sim.Network.silent_until_ts ()
               in
               let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-              check r;
+              check notes r;
               Measure.worst_latency r
                 ~procs:(Measure.procs ~n ())
                 ~from_time:ts ~delta)
@@ -508,7 +509,6 @@ let e9 ?(speed = Quick) () =
           Report.cell_f bound;
           Report.cell_bool (worst <= bound);
         ])
-      rhos
   in
   Report.make ~id:"E9" ~title:"Clock-rate error tolerance"
     ~claim:
@@ -521,7 +521,8 @@ let e9 ?(speed = Quick) () =
       (drain_notes
          ~pass_note:
            "n=5, sigma = 5*delta (feasible for rho <= 0.11); per-process \
-            clock rates drawn from [1-rho, 1+rho]")
+            clock rates drawn from [1-rho, 1+rho]"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -529,10 +530,8 @@ let e9 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let a1 ?(speed = Quick) () =
-  reset_notes ();
-  let rows =
-    List.map
-      (fun n ->
+  let rows, notes =
+    par_collect (sizes speed) (fun notes n ->
         let victims = Adversaries.faulty_minority ~n in
         let faults = Sim.Fault.make ~initially_down:victims [] in
         let live = Measure.procs ~n ~except:victims () in
@@ -549,7 +548,7 @@ let a1 ?(speed = Quick) () =
             Sim.Engine.run ~injections sc
               (Dgl.Modified_paxos.protocol ~options cfg)
           in
-          check r;
+          check notes r;
           Measure.worst_latency r ~procs:live ~from_time:ts ~delta
         in
         let high =
@@ -568,7 +567,6 @@ let a1 ?(speed = Quick) () =
           Report.cell_latency ungated;
           Report.cell_latency gated;
         ])
-      (sizes speed)
   in
   Report.make ~id:"A1" ~title:"Ablation: the session gate is load-bearing"
     ~claim:
@@ -583,7 +581,8 @@ let a1 ?(speed = Quick) () =
            "the ungated variant faces session-1000k ballots (admissible \
             without the gate); the gated algorithm faces its own worst \
             admissible adversary, session-1 ballots — the gate caps \
-            obsolete sessions at s0+1 (proof step 1)")
+            obsolete sessions at s0+1 (proof step 1)"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -591,12 +590,10 @@ let a1 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let a2 ?(speed = Quick) () =
-  reset_notes ();
   let n = 9 in
   let factors = [ 0.; 0.5; 1.; 2.; 4. ] in
-  let rows =
-    List.map
-      (fun f ->
+  let rows, notes =
+    par_collect factors (fun notes f ->
         let tuning =
           {
             (Bconsensus.Modified_b_consensus.default_tuning ~delta) with
@@ -616,7 +613,7 @@ let a2 ?(speed = Quick) () =
                   ~rho:0. ()
               in
               let r = Sim.Engine.run sc proto in
-              check r;
+              check notes r;
               Measure.worst_latency r
                 ~procs:(Measure.procs ~n ())
                 ~from_time:ts ~delta)
@@ -627,7 +624,6 @@ let a2 ?(speed = Quick) () =
           Report.cell_f (Sim.Metrics.mean lats);
           Report.cell_latency worst;
         ])
-      factors
   in
   Report.make ~id:"A2" ~title:"Ablation: oracle hold-back duration"
     ~claim:
@@ -642,7 +638,8 @@ let a2 ?(speed = Quick) () =
            "n=9, silent-until-TS network; safety never depends on the \
             hold-back (agreement checked on every run), only latency does: \
             short hold-backs make processes report different values, \
-            costing extra rounds until estimates coalesce")
+            costing extra rounds until estimates coalesce"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -650,13 +647,12 @@ let a2 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e10 ?(speed = Quick) () =
-  reset_notes ();
   let n = 5 in
   ignore speed;
   let gap = 10. *. delta in
   let per_proc = 6 in
   let submitter = 1 in
-  let run ~stable_from_start =
+  let run notes ~stable_from_start =
     let ts' = if stable_from_start then 0. else ts in
     let start = ts' +. (20. *. delta) in
     let workloads =
@@ -681,9 +677,7 @@ let e10 ?(speed = Quick) () =
     (* SMR decisions are log checksums, so only the agreement half of the
        safety check applies (checksum equality = identical applied logs). *)
     (match r.Sim.Engine.agreement_violation with
-    | Some _ ->
-        safety_notes :=
-          "SAFETY: E10 replicated logs diverged" :: !safety_notes
+    | Some _ -> notes := "SAFETY: E10 replicated logs diverged" :: !notes
     | None -> ());
     (* commit latency per command from trace notes *)
     let submits = Hashtbl.create 16 and chosens = Hashtbl.create 16 in
@@ -734,8 +728,13 @@ let e10 ?(speed = Quick) () =
     in
     (lats, phase2_per_cmd, gossip_rate)
   in
-  let stable_lats, stable_p2, stable_g = run ~stable_from_start:true in
-  let churn_lats, churn_p2, churn_g = run ~stable_from_start:false in
+  let variants, notes =
+    par_collect [ true; false ] (fun notes stable_from_start ->
+        run notes ~stable_from_start)
+  in
+  let (stable_lats, stable_p2, stable_g), (churn_lats, churn_p2, churn_g) =
+    match variants with [ a; b ] -> (a, b) | _ -> assert false
+  in
   let steady xs = List.filter Float.is_finite xs in
   let rows =
     [
@@ -780,7 +779,8 @@ let e10 ?(speed = Quick) () =
             every replica learns in 3 delays; relaying via the leader \
             would cost a 4th delay for O(n) messages) plus epsilon-period \
             forward retries; replica logs compared by order-sensitive \
-            checksum")
+            checksum"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -788,12 +788,11 @@ let e10 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let a3 ?(speed = Quick) () =
-  reset_notes ();
   ignore speed;
   let n = 5 in
   let straggler = n - 1 in
   let partition_lengths = [ 25.; 50.; 100. ] in
-  let run ~jump ~ts' =
+  let run notes ~jump ~ts' =
     let tuning =
       {
         (Bconsensus.Modified_b_consensus.default_tuning ~delta) with
@@ -828,7 +827,7 @@ let a3 ?(speed = Quick) () =
         proto
     in
     (match r.Sim.Engine.agreement_violation with
-    | Some _ -> safety_notes := "SAFETY: A3 disagreement" :: !safety_notes
+    | Some _ -> notes := "SAFETY: A3 disagreement" :: !notes
     | None -> ());
     (* retransmission volume right before the heal: messages per delta *)
     let volume =
@@ -842,12 +841,11 @@ let a3 ?(speed = Quick) () =
       Measure.worst_latency r ~procs:[ straggler ] ~from_time:ts' ~delta,
       volume )
   in
-  let rows =
-    List.map
-      (fun len ->
+  let rows, notes =
+    par_collect partition_lengths (fun notes len ->
         let ts' = len *. delta in
-        let rounds, lat_jump, vol_jump = run ~jump:true ~ts' in
-        let _, lat_nojump, vol_nojump = run ~jump:false ~ts' in
+        let rounds, lat_jump, vol_jump = run notes ~jump:true ~ts' in
+        let _, lat_nojump, vol_nojump = run notes ~jump:false ~ts' in
         [
           Printf.sprintf "%.0f delta" len;
           string_of_int rounds;
@@ -856,7 +854,6 @@ let a3 ?(speed = Quick) () =
           Report.cell_f vol_jump;
           Report.cell_f vol_nojump;
         ])
-      partition_lengths
   in
   Report.make ~id:"A3"
     ~title:"Ablation: round jumping vs executing every round"
@@ -884,7 +881,8 @@ let a3 ?(speed = Quick) () =
             decision latency after the heal (small either way, because \
             old-round locks carry the decision); the separating cost is \
             the retransmission volume, which grows with the round count \
-            without jumping and is flat with it")
+            without jumping and is flat with it"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -892,10 +890,8 @@ let a3 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e11 ?(speed = Quick) () =
-  reset_notes ();
-  let rows =
-    List.map
-      (fun n ->
+  let rows, notes =
+    par_collect (sizes speed) (fun notes n ->
         let k = n - Consensus.Quorum.majority n in
         (* the DEAD processes are the lowest ids: the ones a
            lowest-id-alive elector would trust *)
@@ -919,11 +915,11 @@ let e11 ?(speed = Quick) () =
             (fun p ->
               match r.Sim.Engine.decision_values.(p) with
               | Some v when v <> k ->
-                  safety_notes :=
+                  notes :=
                     Printf.sprintf
                       "SAFETY: E11 p%d settled on leader %d, expected %d" p v
                       k
-                    :: !safety_notes
+                    :: !notes
               | _ -> ())
             live;
           Measure.worst_latency r ~procs:live ~from_time:ts ~delta
@@ -956,7 +952,6 @@ let e11 ?(speed = Quick) () =
           Report.cell_latency clean;
           Report.cell_latency attacked;
         ])
-      (sizes speed)
   in
   Report.make ~id:"E11"
     ~title:"Heartbeat Omega: leader election is the same problem"
@@ -975,7 +970,8 @@ let e11 ?(speed = Quick) () =
            "heartbeat period delta/2, trust window 2.5 delta; settle = all \
             live processes stably trusting the lowest live id; stale \
             heartbeats spaced one window apart cost ~2.5 delta each \
-            (linear in the dead count), vs O(delta) without them")
+            (linear in the dead count), vs O(delta) without them"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -983,11 +979,10 @@ let e11 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let a4 ?(speed = Quick) () =
-  reset_notes ();
   ignore speed;
   let n = 5 in
   let horizon = 3.0 in
-  let run ~progress_gate =
+  let run notes ~progress_gate =
     let cfg = Dgl.Config.make ~n ~delta () in
     let workloads =
       Array.init n (fun p ->
@@ -1006,7 +1001,7 @@ let a4 ?(speed = Quick) () =
       Sim.Engine.run sc (Smr.Multi_paxos.protocol ~progress_gate cfg ~workloads)
     in
     (match r.Sim.Engine.agreement_violation with
-    | Some _ -> safety_notes := "SAFETY: A4 log divergence" :: !safety_notes
+    | Some _ -> notes := "SAFETY: A4 log divergence" :: !notes
     | None -> ());
     let sessions =
       match r.Sim.Engine.final_states.(0) with
@@ -1020,8 +1015,13 @@ let a4 ?(speed = Quick) () =
       float_of_int r.Sim.Engine.messages_sent /. (horizon /. delta),
       converged )
   in
-  let s_on, m_on, c_on = run ~progress_gate:true in
-  let s_off, m_off, c_off = run ~progress_gate:false in
+  let variants, notes =
+    par_collect [ true; false ] (fun notes progress_gate ->
+        run notes ~progress_gate)
+  in
+  let (s_on, m_on, c_on), (s_off, m_off, c_off) =
+    match variants with [ a; b ] -> (a, b) | _ -> assert false
+  in
   let rows =
     [
       [
@@ -1055,7 +1055,8 @@ let a4 ?(speed = Quick) () =
             variants stay safe and converge, and total message volume is \
             dominated by the epsilon gossip either way — what the gate \
             buys is stable leadership (no phase-1 interruptions), which \
-            is what makes single-round commits the steady state")
+            is what makes single-round commits the steady state"
+         notes)
     ()
 
 (* ------------------------------------------------------------------ *)
@@ -1063,8 +1064,9 @@ let a4 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let headline ?(speed = Quick) () =
-  List.concat_map
-    (fun n ->
+  List.concat
+    (Measure.par_map
+       (fun n ->
       let victims = Adversaries.faulty_minority ~n in
       let faults = Sim.Fault.make ~initially_down:victims [] in
       let live = Measure.procs ~n ~except:victims () in
@@ -1122,28 +1124,9 @@ let headline ?(speed = Quick) () =
         (Printf.sprintf "n=%-2d traditional Paxos" n, t);
         (Printf.sprintf "n=%-2d rotating coord." n, rc);
       ])
-    (sizes speed)
+       (sizes speed))
 
 (* ------------------------------------------------------------------ *)
-
-let all ?(speed = Quick) () =
-  [
-    e1 ~speed ();
-    e2 ~speed ();
-    e3 ~speed ();
-    e4 ~speed ();
-    e5 ~speed ();
-    e6 ~speed ();
-    e7 ~speed ();
-    e8 ~speed ();
-    e9 ~speed ();
-    e10 ~speed ();
-    e11 ~speed ();
-    a1 ~speed ();
-    a2 ~speed ();
-    a3 ~speed ();
-    a4 ~speed ();
-  ]
 
 let table =
   [
@@ -1167,3 +1150,12 @@ let table =
 let by_id id = List.assoc_opt (String.lowercase_ascii id) table
 
 let ids = List.map fst table
+
+(* The whole suite is itself a sweep: experiments fan out alongside their
+   own rows (nested [par_map] is deadlock-free), and results come back
+   in table order. *)
+let all ?(speed = Quick) () =
+  Measure.par_map
+    (fun ((_, f) : _ * (?speed:speed -> unit -> Report.table)) ->
+      f ~speed ())
+    table

@@ -43,3 +43,45 @@ let procs ~n ?(except = []) () =
 
 let over_seeds ~seeds ~base f =
   List.init seeds (fun i -> f (Int64.add base (Int64.of_int (i * 7919))))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweeps                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let forced_domains = ref None
+
+let domain_count () =
+  match !forced_domains with
+  | Some n -> n
+  | None -> (
+      match Sys.getenv_opt "SIM_DOMAINS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> n
+          | _ -> Domain.recommended_domain_count ())
+      | None -> Domain.recommended_domain_count ())
+
+(* One pool, created on first use and re-created if the requested size
+   changes (tests flip sizes via [with_domains]). *)
+let pool = ref None
+
+let get_pool () =
+  let want = domain_count () in
+  match !pool with
+  | Some p when Sim.Domain_pool.size p = want -> p
+  | prev ->
+      (match prev with Some p -> Sim.Domain_pool.shutdown p | None -> ());
+      let p = Sim.Domain_pool.create ~domains:want () in
+      pool := Some p;
+      p
+
+let par_map f xs = Sim.Domain_pool.map (get_pool ()) f xs
+
+let over_seeds_par ~seeds ~base f =
+  par_map f (List.init seeds (fun i -> Int64.add base (Int64.of_int (i * 7919))))
+
+let with_domains n f =
+  if n < 1 then invalid_arg "Measure.with_domains: n < 1";
+  let saved = !forced_domains in
+  forced_domains := Some n;
+  Fun.protect ~finally:(fun () -> forced_domains := saved) f

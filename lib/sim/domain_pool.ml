@@ -1,0 +1,109 @@
+type t = {
+  mutex : Mutex.t;
+  work_available : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+  domains : int;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.tasks && not pool.stop do
+    Condition.wait pool.work_available pool.mutex
+  done;
+  match Queue.take_opt pool.tasks with
+  | None ->
+      (* stopped and drained *)
+      Mutex.unlock pool.mutex
+  | Some task ->
+      Mutex.unlock pool.mutex;
+      task ();
+      worker_loop pool
+
+let create ~domains () =
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      work_available = Condition.create ();
+      tasks = Queue.create ();
+      stop = false;
+      workers = [];
+      domains;
+    }
+  in
+  pool.workers <-
+    List.init (domains - 1) (fun _ ->
+        Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size t = t.domains
+
+(* Deadlock-freedom of nested [map]s: a caller only blocks on [all_done]
+   after the shared queue is empty, so every enqueued task is being run
+   by some domain; a task that itself calls [map] drains its own subtasks
+   in its drain loop at worst.  Every popped task therefore terminates,
+   inductively. *)
+let map pool f xs =
+  match xs with
+  | [] | [ _ ] -> List.map f xs
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      (* Lowest failing index wins, so the raised exception does not
+         depend on scheduling. *)
+      let failed = ref None in
+      let remaining = ref n in
+      let all_done = Condition.create () in
+      let run_one i =
+        let outcome =
+          try Ok (f arr.(i))
+          with e -> Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock pool.mutex;
+        (match outcome with
+        | Ok r -> results.(i) <- Some r
+        | Error err -> (
+            match !failed with
+            | Some (j, _) when j <= i -> ()
+            | _ -> failed := Some (i, err)));
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast all_done;
+        Mutex.unlock pool.mutex
+      in
+      Mutex.lock pool.mutex;
+      for i = 0 to n - 1 do
+        Queue.add (fun () -> run_one i) pool.tasks
+      done;
+      Condition.broadcast pool.work_available;
+      (* The caller is a pool member: drain tasks alongside the workers,
+         then wait for whatever is still in flight elsewhere. *)
+      let rec drain () =
+        match Queue.take_opt pool.tasks with
+        | Some task ->
+            Mutex.unlock pool.mutex;
+            task ();
+            Mutex.lock pool.mutex;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      while !remaining > 0 do
+        Condition.wait all_done pool.mutex
+      done;
+      Mutex.unlock pool.mutex;
+      (match !failed with
+      | Some (_, (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list (Array.map Option.get results)
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stop <- true;
+  Condition.broadcast pool.work_available;
+  Mutex.unlock pool.mutex;
+  let ws = pool.workers in
+  pool.workers <- [];
+  List.iter Domain.join ws

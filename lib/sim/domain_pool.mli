@@ -1,0 +1,44 @@
+(** Fixed-size worker pool over OCaml 5 domains.
+
+    Built from the stdlib only ([Domain], [Mutex], [Condition]): worker
+    domains are spawned once at {!create} and consume closures from a
+    shared queue, so callers pay the domain-spawn cost once per pool, not
+    once per task.
+
+    The pool is designed for the simulator's sweep layer: every
+    {!Engine.run} is a self-contained deterministic function of its
+    scenario, so a sweep is an embarrassingly parallel [map] whose
+    results are collected by submission index — {!map} returns results
+    in input order regardless of which domain finished first. *)
+
+type t
+
+(** [create ~domains ()] spawns [domains - 1] worker domains; the
+    calling domain is the remaining member — during {!map} it drains
+    tasks alongside the workers, so [domains] domains compute in total.
+    Sizing the pool ([Domain.recommended_domain_count]) is the caller's
+    job.  A [domains] of 1 spawns nothing: {!map} then runs everything
+    on the calling domain, which is the exact serial path.
+
+    Raises [Invalid_argument] if [domains < 1]. *)
+val create : domains:int -> unit -> t
+
+(** The size the pool was created with (1 = serial). *)
+val size : t -> int
+
+(** [map pool f xs] applies [f] to every element of [xs] on the pool's
+    domains and returns the results in the order of [xs].
+
+    If one or more applications raise, [map] waits for the remaining
+    tasks, then re-raises the exception of the {e lowest-index} failing
+    element (deterministic regardless of scheduling).
+
+    Nested calls — [f] itself calling [map] on the same pool — are safe:
+    a caller drains the shared queue before blocking, so its subtasks
+    run on itself at worst and the pool cannot deadlock. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Stops the workers and joins them.  Idempotent.  Outstanding {!map}
+    calls must have returned; {!map} on a shut-down pool of any size
+    runs serially on the caller (the queue is no longer consumed). *)
+val shutdown : t -> unit

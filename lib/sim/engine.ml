@@ -21,7 +21,7 @@ type ('msg, 'state) ctx = ('msg, 'state) Runtime.ctx
 type ('msg, 'state) t = {
   scenario : Scenario.t;
   protocol : ('msg, 'state) protocol;
-  mutable queue : 'msg event Pairing_heap.t;
+  queue : 'msg event Event_queue.t;
   mutable now : Sim_time.t;
   mutable next_seq : int;
   states : 'state option array;  (* None = process down *)
@@ -40,6 +40,12 @@ type ('msg, 'state) t = {
   mutable pending_faults : int;
   mutable events_processed : int;
   mutable agreement_violation : (int * int * int * int) option;
+  (* Incremental mirrors of the [states] / [decision_values] arrays so
+     the stop test is O(1) per event instead of an O(N) rescan:
+     [up_count] = processes with [states.(p) <> None];
+     [undecided_up_count] = up processes that have not decided. *)
+  mutable up_count : int;
+  mutable undecided_up_count : int;
 }
 
 (* Events are ordered by (time, insertion sequence): simultaneous events
@@ -51,7 +57,7 @@ let event_cmp a b =
 let schedule eng ~at body =
   let ev = { at; seq = eng.next_seq; body } in
   eng.next_seq <- eng.next_seq + 1;
-  eng.queue <- Pairing_heap.insert eng.queue ev
+  Event_queue.add eng.queue ev
 
 (* ------------------------------------------------------------------ *)
 (* Context operations (thin wrappers over the closure record so that   *)
@@ -130,10 +136,24 @@ let eng_set_timer eng p ~local_delay ~tag =
   schedule eng ~at:fire_at
     (Timer { proc = p; incarnation = eng.incarnations.(p); tag })
 
+(* Counter maintenance: call [mark_up]/[mark_down] after/before every
+   [None <-> Some] transition of [states.(p)]. *)
+let mark_up eng p =
+  eng.up_count <- eng.up_count + 1;
+  if eng.decision_values.(p) = None then
+    eng.undecided_up_count <- eng.undecided_up_count + 1
+
+let mark_down eng p =
+  eng.up_count <- eng.up_count - 1;
+  if eng.decision_values.(p) = None then
+    eng.undecided_up_count <- eng.undecided_up_count - 1
+
 let eng_decide eng p v =
   match eng.decision_values.(p) with
   | Some _ -> ()
   | None ->
+      if eng.states.(p) <> None then
+        eng.undecided_up_count <- eng.undecided_up_count - 1;
       eng.decision_values.(p) <- Some v;
       eng.decision_times.(p) <- Some eng.now;
       Trace.record eng.trace (Trace.Decide { t = eng.now; proc = p; value = v });
@@ -193,17 +213,7 @@ type 'state run_result = {
 }
 
 let all_up_decided (eng : (_, _) t) =
-  let ok = ref true in
-  let any_up = ref false in
-  Array.iteri
-    (fun p st ->
-      match st with
-      | None -> ()
-      | Some _ ->
-          any_up := true;
-          if eng.decision_values.(p) = None then ok := false)
-    eng.states;
-  !any_up && !ok
+  eng.up_count > 0 && eng.undecided_up_count = 0
 
 let should_stop (eng : (_, _) t) =
   eng.scenario.Scenario.stop_on_all_decided
@@ -246,14 +256,17 @@ let dispatch (eng : (_, _) t) ev =
       match action with
       | Fault.Crash ->
           Trace.record eng.trace (Trace.Crash { t = eng.now; proc });
+          if eng.states.(proc) <> None then mark_down eng proc;
           eng.states.(proc) <- None;
           eng.incarnations.(proc) <- eng.incarnations.(proc) + 1
       | Fault.Restart ->
           Trace.record eng.trace (Trace.Restart { t = eng.now; proc });
           eng.incarnations.(proc) <- eng.incarnations.(proc) + 1;
           let persisted = Stable_storage.load eng.storage ~proc in
+          let was_up = eng.states.(proc) <> None in
           eng.states.(proc) <-
-            Some (eng.protocol.on_restart eng.ctxs.(proc) ~persisted))
+            Some (eng.protocol.on_restart eng.ctxs.(proc) ~persisted);
+          if not was_up then mark_up eng proc)
 
 let run ?(injections = []) scenario protocol =
   (match Scenario.validate scenario with
@@ -273,7 +286,7 @@ let run ?(injections = []) scenario protocol =
     {
       scenario;
       protocol;
-      queue = Pairing_heap.empty ~cmp:event_cmp;
+      queue = Event_queue.create ~cmp:event_cmp ();
       now = Sim_time.zero;
       next_seq = 0;
       states = Array.make n None;
@@ -292,6 +305,8 @@ let run ?(injections = []) scenario protocol =
       pending_faults = 0;
       events_processed = 0;
       agreement_violation = None;
+      up_count = 0;
+      undecided_up_count = 0;
     }
   in
   eng.ctxs <- Array.init n (fun p -> make_ctx eng p);
@@ -307,19 +322,21 @@ let run ?(injections = []) scenario protocol =
     injections;
   (* Boot initially-up processes. *)
   for p = 0 to n - 1 do
-    if not (List.mem p scenario.Scenario.faults.Fault.initially_down) then
-      eng.states.(p) <- Some (protocol.on_boot eng.ctxs.(p))
+    if not (List.mem p scenario.Scenario.faults.Fault.initially_down) then begin
+      eng.states.(p) <- Some (protocol.on_boot eng.ctxs.(p));
+      mark_up eng p
+    end
   done;
   (* Main loop. *)
   let rec loop () =
     if should_stop eng then ()
     else
-      match Pairing_heap.pop_min eng.queue with
+      match Event_queue.peek_min eng.queue with
       | None -> ()
-      | Some (ev, rest) ->
+      | Some ev ->
           if ev.at > scenario.Scenario.horizon then ()
           else begin
-            eng.queue <- rest;
+            ignore (Event_queue.pop_min eng.queue);
             eng.now <- Sim_time.max eng.now ev.at;
             dispatch eng ev;
             loop ()

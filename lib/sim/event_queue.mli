@@ -1,0 +1,40 @@
+(** Mutable array-backed binary min-heap, the simulator's event queue.
+
+    The functional {!Pairing_heap} allocates a node per insert and churns
+    the minor heap on every [pop_min]; this heap stores elements in a
+    flat array that grows in place (doubling), so the steady state of the
+    event loop allocates nothing.  One heap drives one {!Engine.run} and
+    is never shared across domains.
+
+    The heap is a min-heap with respect to the comparison supplied at
+    creation.  Binary heaps are not stable, so callers that need
+    deterministic order among equal keys must make the comparison total —
+    the engine folds its insertion sequence number into [cmp], preserving
+    the [(time, seq)] order of the functional queue exactly. *)
+
+type 'a t
+
+(** [create ?capacity ~cmp ()] is an empty heap.  [capacity] is the
+    initial array size hint (default 256; clipped to at least 1). *)
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** Pushes an element; amortised O(log n), O(1) allocation-free except
+    when the backing array doubles. *)
+val add : 'a t -> 'a -> unit
+
+(** Smallest element, if any, without removing it. *)
+val peek_min : 'a t -> 'a option
+
+(** Removes and returns the smallest element. *)
+val pop_min : 'a t -> 'a option
+
+(** [of_list ~cmp xs] builds a heap containing [xs]. *)
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+(** Drains the heap (destructively); returns elements in ascending
+    order. *)
+val drain_sorted : 'a t -> 'a list

@@ -60,12 +60,21 @@ let deterministic_after_ts =
   { name = "deterministic-after-ts"; decide }
 
 let partitioned_until_ts groups =
+  (* Precomputed at construction: [decide] runs once per message, and a
+     [List.mem] scan over the groups there is O(N) on the hot path. *)
+  let max_id =
+    List.fold_left (List.fold_left Stdlib.max) (-1) groups
+  in
+  let table = Array.make (max_id + 1) Int.min_int in
+  List.iteri
+    (fun i g ->
+      List.iter
+        (fun p -> if p >= 0 && table.(p) = Int.min_int then table.(p) <- i)
+        g)
+    groups;
   let group_of p =
-    let rec find i = function
-      | [] -> -1 - p (* unique negative id: isolated *)
-      | g :: rest -> if List.mem p g then i else find (i + 1) rest
-    in
-    find 0 groups
+    if p >= 0 && p <= max_id && table.(p) <> Int.min_int then table.(p)
+    else -1 - p (* unique negative id: isolated *)
   in
   let decide rng ~now ~ts ~delta ~src ~dst =
     if now >= ts || group_of src = group_of dst then

@@ -1,0 +1,81 @@
+let with_pool domains f =
+  let pool = Sim.Domain_pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Sim.Domain_pool.shutdown pool) (fun () ->
+      f pool)
+
+let test_map_preserves_order () =
+  with_pool 4 (fun pool ->
+      let xs = List.init 200 Fun.id in
+      Alcotest.(check (list int))
+        "results in submission order"
+        (List.map (fun i -> i * i) xs)
+        (Sim.Domain_pool.map pool (fun i -> i * i) xs))
+
+let test_pool_of_one () =
+  with_pool 1 (fun pool ->
+      Alcotest.(check int) "size" 1 (Sim.Domain_pool.size pool);
+      Alcotest.(check (list string))
+        "serial path"
+        [ "0"; "1"; "2" ]
+        (Sim.Domain_pool.map pool string_of_int [ 0; 1; 2 ]))
+
+let test_empty_and_singleton () =
+  with_pool 3 (fun pool ->
+      Alcotest.(check (list int)) "empty" []
+        (Sim.Domain_pool.map pool (fun i -> i) []);
+      Alcotest.(check (list int))
+        "singleton" [ 42 ]
+        (Sim.Domain_pool.map pool (fun i -> i + 1) [ 41 ]))
+
+let test_exception_propagates () =
+  with_pool 4 (fun pool ->
+      (* Several elements fail; the lowest index must win so the observed
+         exception does not depend on scheduling. *)
+      Alcotest.check_raises "lowest failing index wins" (Failure "boom 3")
+        (fun () ->
+          ignore
+            (Sim.Domain_pool.map pool
+               (fun i ->
+                 if i >= 3 then failwith (Printf.sprintf "boom %d" i) else i)
+               (List.init 16 Fun.id))))
+
+let test_pool_usable_after_exception () =
+  with_pool 4 (fun pool ->
+      (try ignore (Sim.Domain_pool.map pool (fun _ -> failwith "x") [ 1; 2 ])
+       with Failure _ -> ());
+      Alcotest.(check (list int))
+        "map still works" [ 2; 4; 6 ]
+        (Sim.Domain_pool.map pool (fun i -> 2 * i) [ 1; 2; 3 ]))
+
+let test_nested_map () =
+  with_pool 4 (fun pool ->
+      let got =
+        Sim.Domain_pool.map pool
+          (fun i ->
+            Sim.Domain_pool.map pool (fun j -> (10 * i) + j) [ 0; 1; 2 ])
+          [ 1; 2; 3; 4 ]
+      in
+      Alcotest.(check (list (list int)))
+        "nested maps on the same pool"
+        [ [ 10; 11; 12 ]; [ 20; 21; 22 ]; [ 30; 31; 32 ]; [ 40; 41; 42 ] ]
+        got)
+
+let test_shutdown_idempotent () =
+  let pool = Sim.Domain_pool.create ~domains:3 () in
+  Sim.Domain_pool.shutdown pool;
+  Sim.Domain_pool.shutdown pool;
+  Alcotest.(check (list int))
+    "map after shutdown runs on caller" [ 1; 2 ]
+    (Sim.Domain_pool.map pool (fun i -> i) [ 1; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "pool of one is serial" `Quick test_pool_of_one;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "usable after exception" `Quick
+      test_pool_usable_after_exception;
+    Alcotest.test_case "nested map" `Quick test_nested_map;
+    Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+  ]

@@ -1,0 +1,100 @@
+(* The mutable binary-heap event queue must be observationally identical
+   to the functional pairing heap it replaced: same drain order under the
+   engine's (time, seq) comparison, including time ties. *)
+
+let cmp (t1, s1) (t2, s2) =
+  let c = compare (t1 : float) t2 in
+  if c <> 0 then c else compare (s1 : int) s2
+
+let test_empty () =
+  let q = Sim.Event_queue.create ~cmp:compare () in
+  Alcotest.(check bool) "is_empty" true (Sim.Event_queue.is_empty q);
+  Alcotest.(check int) "length" 0 (Sim.Event_queue.length q);
+  Alcotest.(check (option int)) "peek" None (Sim.Event_queue.peek_min q);
+  Alcotest.(check (option int)) "pop" None (Sim.Event_queue.pop_min q)
+
+let test_basic_order () =
+  let q = Sim.Event_queue.of_list ~cmp:compare [ 5; 3; 9; 1; 7; 3; 0; -2 ] in
+  Alcotest.(check int) "length" 8 (Sim.Event_queue.length q);
+  Alcotest.(check (option int)) "peek" (Some (-2)) (Sim.Event_queue.peek_min q);
+  Alcotest.(check (list int))
+    "sorted"
+    [ -2; 0; 1; 3; 3; 5; 7; 9 ]
+    (Sim.Event_queue.drain_sorted q);
+  Alcotest.(check bool) "drained" true (Sim.Event_queue.is_empty q)
+
+let test_grows_from_tiny_capacity () =
+  let q = Sim.Event_queue.create ~capacity:1 ~cmp:compare () in
+  for i = 999 downto 0 do
+    Sim.Event_queue.add q i
+  done;
+  Alcotest.(check int) "length" 1000 (Sim.Event_queue.length q);
+  Alcotest.(check (list int))
+    "sorted after growth"
+    (List.init 1000 Fun.id)
+    (Sim.Event_queue.drain_sorted q)
+
+let test_ties_resolved_by_seq () =
+  let q =
+    Sim.Event_queue.of_list ~cmp [ (1.0, 0); (1.0, 1); (0.5, 2); (1.0, 3) ]
+  in
+  Alcotest.(check (list (pair (float 0.) int)))
+    "fifo among equal times"
+    [ (0.5, 2); (1.0, 0); (1.0, 1); (1.0, 3) ]
+    (Sim.Event_queue.drain_sorted q)
+
+(* Workload generator biased toward time collisions: times are drawn from
+   a small pool, seq is the element's index (unique), mirroring how the
+   engine numbers events. *)
+let workload =
+  QCheck.Gen.(
+    list (int_bound 15) >|= fun times ->
+    List.mapi (fun i t -> (float_of_int t /. 4., i)) times)
+
+let arbitrary_workload =
+  QCheck.make workload
+    ~print:(fun evs ->
+      String.concat ";"
+        (List.map (fun (t, s) -> Printf.sprintf "(%g,%d)" t s) evs))
+
+let prop_drains_like_pairing_heap =
+  QCheck.Test.make ~name:"drains in Pairing_heap.to_sorted_list order"
+    ~count:500 arbitrary_workload (fun evs ->
+      Sim.Event_queue.drain_sorted (Sim.Event_queue.of_list ~cmp evs)
+      = Sim.Pairing_heap.to_sorted_list (Sim.Pairing_heap.of_list ~cmp evs))
+
+let prop_interleaved_matches_pairing_heap =
+  (* Random add/pop interleavings against the pairing heap as the model:
+     both structures must agree on every pop, not just on full drains. *)
+  QCheck.Test.make ~name:"interleaved add/pop matches pairing heap"
+    ~count:300
+    QCheck.(list (pair bool (int_bound 15)))
+    (fun ops ->
+      let q = Sim.Event_queue.create ~cmp () in
+      let h = ref (Sim.Pairing_heap.empty ~cmp) in
+      List.for_all
+        (fun (is_add, t) ->
+          if is_add then begin
+            let ev = (float_of_int t /. 4., Sim.Pairing_heap.size !h) in
+            Sim.Event_queue.add q ev;
+            h := Sim.Pairing_heap.insert !h ev;
+            true
+          end
+          else
+            match (Sim.Event_queue.pop_min q, Sim.Pairing_heap.pop_min !h) with
+            | None, None -> true
+            | Some x, Some (y, rest) ->
+                h := rest;
+                x = y
+            | _ -> false)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "basic order" `Quick test_basic_order;
+    Alcotest.test_case "grows in place" `Quick test_grows_from_tiny_capacity;
+    Alcotest.test_case "seq tie-break" `Quick test_ties_resolved_by_seq;
+    QCheck_alcotest.to_alcotest prop_drains_like_pairing_heap;
+    QCheck_alcotest.to_alcotest prop_interleaved_matches_pairing_heap;
+  ]

@@ -185,6 +185,21 @@ let test_each_experiment_produces_rows () =
                   t.Harness.Report.notes)))
     Harness.Experiments.ids
 
+let test_parallel_rendering_deterministic () =
+  (* The acceptance bar for the parallel sweep layer: the formatted table
+     must be byte-identical whatever the pool size. *)
+  let render () =
+    match Harness.Experiments.by_id "e1" with
+    | None -> Alcotest.fail "missing experiment e1"
+    | Some f ->
+        Format.asprintf "%a" Harness.Report.print
+          (f ~speed:Harness.Experiments.Quick ())
+  in
+  let serial = Harness.Measure.with_domains 1 render in
+  let parallel = Harness.Measure.with_domains 4 render in
+  Alcotest.(check string) "SIM_DOMAINS=1 and =4 render identically" serial
+    parallel
+
 let test_by_id_unknown () =
   Alcotest.(check bool) "unknown id" true
     (Harness.Experiments.by_id "zz" = None);
@@ -212,5 +227,7 @@ let suite =
     Alcotest.test_case "headline series" `Quick test_headline_series;
     Alcotest.test_case "experiments produce rows (slow)" `Slow
       test_each_experiment_produces_rows;
+    Alcotest.test_case "parallel rendering deterministic" `Quick
+      test_parallel_rendering_deterministic;
     Alcotest.test_case "experiment lookup" `Quick test_by_id_unknown;
   ]

@@ -3,6 +3,8 @@ let () =
     [
       ("prng", Test_prng.suite);
       ("pairing-heap", Test_pairing_heap.suite);
+      ("event-queue", Test_event_queue.suite);
+      ("domain-pool", Test_domain_pool.suite);
       ("clock", Test_clock.suite);
       ("network", Test_network.suite);
       ("fault", Test_fault.suite);
