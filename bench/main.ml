@@ -366,7 +366,8 @@ let json_float f =
 
 let json_opt_float = function Some f -> json_float f | None -> "null"
 
-let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro =
+let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
+    ~invariants_ok =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -380,6 +381,8 @@ let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro =
     | Some s when wall > 0. -> json_float (s /. wall)
     | _ -> "null");
   p "  },\n";
+  p "  \"trace_invariants_ok\": %b,\n" invariants_ok;
+  p "  \"metrics\": %s,\n" (Sim.Registry.to_json metrics);
   p "  \"micro_ns_per_run\": [";
   List.iteri
     (fun i (name, est, r2) ->
@@ -408,7 +411,11 @@ let () =
     (r, Unix.gettimeofday () -. t0)
   in
   let domains = Harness.Measure.domain_count () in
+  Harness.Experiments.reset_metrics ();
   let tables, wall = time (fun () -> Harness.Experiments.all ~speed ()) in
+  (* Aggregate counters/histograms from every run the sweeps performed,
+     snapshotted before the serial re-run below double-counts them. *)
+  let metrics = Harness.Experiments.metrics_snapshot () in
   Harness.Report.print_all Format.std_formatter tables;
   Format.printf "@.";
   Harness.Report.bar_chart Format.std_formatter
@@ -438,6 +445,27 @@ let () =
         Printf.sprintf "; serial %.1fs, speedup %.2fx" s (s /. wall)
     | _ -> "")
     speed_name;
+  (* Trace-driven invariant checking over one traced replay per
+     experiment: the same checker the `trace` CLI and tests run. *)
+  let invariants_ok =
+    List.for_all
+      (fun id ->
+        match Harness.Experiments.replay id with
+        | Some rp ->
+            let ok =
+              Harness.Invariants.ok rp.Harness.Experiments.invariants
+            in
+            if not ok then
+              Format.printf "TRACE INVARIANT FAILURE in %s: %a@." id
+                Harness.Invariants.pp rp.Harness.Experiments.invariants;
+            ok
+        | None -> false)
+      Harness.Experiments.ids
+  in
+  Format.printf "trace invariants: %s on %d replayed scenarios@."
+    (if invariants_ok then "OK" else "FAILED")
+    (List.length Harness.Experiments.ids);
   let path = "BENCH_RESULTS.json" in
-  write_results ~path ~speed:speed_name ~domains ~wall ~serial_wall ~micro;
+  write_results ~path ~speed:speed_name ~domains ~wall ~serial_wall ~micro
+    ~metrics ~invariants_ok;
   Format.printf "(wrote %s)@." path

@@ -5,6 +5,8 @@
      consensus-sim run --protocol traditional-paxos --n 9 --network silent
      consensus-sim experiment e1
      consensus-sim experiment all --full
+     consensus-sim trace e1 --timeline --export e1.jsonl
+     consensus-sim trace --import e1.jsonl
      consensus-sim list *)
 
 open Cmdliner
@@ -529,6 +531,304 @@ let check_cmd =
       $ states_arg)
 
 (* ------------------------------------------------------------------ *)
+(* trace: replay / import, filter, timeline, invariants                *)
+(* ------------------------------------------------------------------ *)
+
+(* The process a trace entry "belongs to" for --filter proc= and the
+   timeline: senders own their sends, receivers own deliveries/drops. *)
+let entry_procs = function
+  | Sim.Trace.Send { src; dst; _ }
+  | Sim.Trace.Deliver { src; dst; _ }
+  | Sim.Trace.Drop { src; dst; _ } ->
+      [ src; dst ]
+  | Sim.Trace.Timer_set { proc; _ }
+  | Sim.Trace.Timer_fire { proc; _ }
+  | Sim.Trace.Crash { proc; _ }
+  | Sim.Trace.Restart { proc; _ }
+  | Sim.Trace.Decide { proc; _ }
+  | Sim.Trace.Note { proc; _ } ->
+      [ proc ]
+
+let entry_kind = function
+  | Sim.Trace.Send { payload; _ }
+  | Sim.Trace.Deliver { payload; _ }
+  | Sim.Trace.Drop { payload; _ } ->
+      Some payload.Sim.Trace.kind
+  | _ -> None
+
+let entry_event_name = function
+  | Sim.Trace.Send _ -> "send"
+  | Sim.Trace.Deliver _ -> "deliver"
+  | Sim.Trace.Drop _ -> "drop"
+  | Sim.Trace.Timer_set _ -> "timer_set"
+  | Sim.Trace.Timer_fire _ -> "timer_fire"
+  | Sim.Trace.Crash _ -> "crash"
+  | Sim.Trace.Restart _ -> "restart"
+  | Sim.Trace.Decide _ -> "decide"
+  | Sim.Trace.Note _ -> "note"
+
+type trace_filter =
+  | Fproc of int
+  | Fkind of string
+  | Fwindow of float * float
+
+let filter_conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "bad filter %S (want proc=N, kind=K or window=LO:HI)" s))
+    | Some i -> (
+        let key = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        match key with
+        | "proc" -> (
+            match int_of_string_opt v with
+            | Some p -> Ok (Fproc p)
+            | None -> Error (`Msg (Printf.sprintf "bad process id %S" v)))
+        | "kind" -> Ok (Fkind v)
+        | "window" -> (
+            match String.split_on_char ':' v with
+            | [ lo; hi ] -> (
+                match (float_of_string_opt lo, float_of_string_opt hi) with
+                | Some lo, Some hi -> Ok (Fwindow (lo, hi))
+                | _ ->
+                    Error (`Msg (Printf.sprintf "bad window %S (want LO:HI)" v))
+                )
+            | _ -> Error (`Msg (Printf.sprintf "bad window %S (want LO:HI)" v)))
+        | k -> Error (`Msg (Printf.sprintf "unknown filter key %S" k)))
+  in
+  let print fmt = function
+    | Fproc p -> Format.fprintf fmt "proc=%d" p
+    | Fkind k -> Format.fprintf fmt "kind=%s" k
+    | Fwindow (lo, hi) -> Format.fprintf fmt "window=%g:%g" lo hi
+  in
+  Arg.conv (parse, print)
+
+let filter_matches filters e =
+  List.for_all
+    (fun f ->
+      match f with
+      | Fproc p -> List.mem p (entry_procs e)
+      | Fkind k -> entry_kind e = Some k || entry_event_name e = k
+      | Fwindow (lo, hi) ->
+          Sim.Sim_time.in_window (Sim.Trace.time_of e) ~lo ~hi)
+    filters
+
+(* ASCII per-process timeline: one row per process, one column per time
+   bucket; the highest-priority event in a bucket wins its cell. *)
+let print_timeline fmt trace =
+  let len = Sim.Trace.length trace in
+  if len = 0 then Format.fprintf fmt "(empty trace)@."
+  else begin
+    let n =
+      Sim.Trace.fold
+        (fun acc e -> List.fold_left Int.max acc (entry_procs e))
+        0 trace
+      + 1
+    in
+    let t0 = Sim.Trace.time_of (Sim.Trace.get trace 0) in
+    let t1 = Sim.Trace.time_of (Sim.Trace.get trace (len - 1)) in
+    let width = 64 in
+    let span = Float.max (t1 -. t0) 1e-12 in
+    let rows = Array.init n (fun _ -> Bytes.make width ' ') in
+    let rank = function
+      | 'D' -> 9
+      | 'X' -> 8
+      | 'R' -> 7
+      | '!' -> 6
+      | 'o' -> 5
+      | '>' -> 4
+      | 't' -> 3
+      | '~' -> 2
+      | _ -> 0
+    in
+    let put proc t ch =
+      let col =
+        Int.min (width - 1)
+          (int_of_float ((t -. t0) /. span *. float_of_int width))
+      in
+      if rank ch > rank (Bytes.get rows.(proc) col) then
+        Bytes.set rows.(proc) col ch
+    in
+    Sim.Trace.iter
+      (fun e ->
+        match e with
+        | Sim.Trace.Send { t; src; _ } -> put src t '>'
+        | Sim.Trace.Deliver { t; dst; _ } -> put dst t 'o'
+        | Sim.Trace.Drop { t; dst; _ } -> put dst t '!'
+        | Sim.Trace.Timer_fire { t; proc; _ } -> put proc t 't'
+        | Sim.Trace.Timer_set _ -> ()
+        | Sim.Trace.Crash { t; proc } -> put proc t 'X'
+        | Sim.Trace.Restart { t; proc } -> put proc t 'R'
+        | Sim.Trace.Decide { t; proc; _ } -> put proc t 'D'
+        | Sim.Trace.Note { t; proc; _ } -> put proc t '~')
+      trace;
+    Format.fprintf fmt "timeline %s .. %s (%d entries; col = %.4gs)@."
+      (Sim.Sim_time.to_string t0) (Sim.Sim_time.to_string t1) len
+      (span /. float_of_int width);
+    Array.iteri
+      (fun p row -> Format.fprintf fmt "  p%-3d |%s|@." p (Bytes.to_string row))
+      rows;
+    Format.fprintf fmt
+      "  legend: D decide, X crash, R restart, ! drop, o deliver, > send, \
+       t timer, ~ note@."
+  end
+
+let print_trace_summary fmt trace =
+  let counts = Hashtbl.create 9 in
+  Sim.Trace.iter
+    (fun e ->
+      let k = entry_event_name e in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    trace;
+  let parts =
+    List.filter_map
+      (fun k ->
+        match Hashtbl.find_opt counts k with
+        | Some c -> Some (Printf.sprintf "%s %d" k c)
+        | None -> None)
+      [
+        "send"; "deliver"; "drop"; "timer_set"; "timer_fire"; "crash";
+        "restart"; "decide"; "note";
+      ]
+  in
+  Format.fprintf fmt "entries: %d retained (%d recorded)%s@."
+    (Sim.Trace.length trace)
+    (Sim.Trace.total_recorded trace)
+    (match parts with [] -> "" | _ -> ": " ^ String.concat ", " parts);
+  List.iter
+    (fun (p, t, v) ->
+      Format.fprintf fmt "  p%d decided %d at %a@." p v Sim.Sim_time.pp t)
+    (Sim.Trace.decisions trace)
+
+let trace_impl id import export filters timeline stats =
+  let trace, proposals, timer_bounds, metrics =
+    match import with
+    | Some path ->
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        (match Sim.Trace.of_jsonl s with
+        | Ok t ->
+            Format.printf "imported %d entries from %s@." (Sim.Trace.length t)
+              path;
+            (t, None, None, None)
+        | Error msg -> failwith (Printf.sprintf "%s: %s" path msg))
+    | None -> (
+        match id with
+        | None ->
+            failwith
+              "nothing to do: give an experiment id (see `consensus-sim \
+               list`) or --import FILE"
+        | Some id -> (
+            match Harness.Experiments.replay id with
+            | None ->
+                failwith
+                  (Printf.sprintf "unknown experiment %S (try: %s)" id
+                     (String.concat ", " Harness.Experiments.ids))
+            | Some rp ->
+                Format.printf "replayed %s: scenario %a@."
+                  rp.Harness.Experiments.replay_id Sim.Scenario.pp
+                  rp.Harness.Experiments.scenario;
+                ( rp.Harness.Experiments.trace,
+                  rp.Harness.Experiments.proposals,
+                  rp.Harness.Experiments.timer_bounds,
+                  Some rp.Harness.Experiments.metrics )))
+  in
+  print_trace_summary Format.std_formatter trace;
+  (match export with
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc (Sim.Trace.to_jsonl trace);
+      close_out oc;
+      Format.printf "exported %d entries to %s@." (Sim.Trace.length trace)
+        path
+  | None -> ());
+  if filters <> [] then begin
+    Format.printf "--- matching entries ---@.";
+    let shown =
+      Sim.Trace.fold
+        (fun shown e ->
+          if filter_matches filters e then begin
+            Format.printf "%a@." Sim.Trace.pp_entry e;
+            shown + 1
+          end
+          else shown)
+        0 trace
+    in
+    Format.printf "--- %d matching entries ---@." shown
+  end;
+  if timeline then print_timeline Format.std_formatter trace;
+  if stats then begin
+    match metrics with
+    | Some m -> Format.printf "--- metrics ---@.%a@." Sim.Registry.pp m
+    | None ->
+        Format.printf
+          "(no metrics: imported traces carry events only; metrics live in \
+           the run's registry)@."
+  end;
+  let report = Harness.Invariants.check ?proposals ?timer_bounds trace in
+  Format.printf "%a@." Harness.Invariants.pp report;
+  if not (Harness.Invariants.ok report) then exit 1
+
+let trace_cmd =
+  let id_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ID"
+          ~doc:"Experiment id to replay with tracing on (e1..e11, a1..a4).")
+  in
+  let import_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "import" ] ~docv:"FILE"
+          ~doc:"Check a previously exported JSONL trace instead of replaying.")
+  in
+  let export_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "export" ] ~docv:"FILE" ~doc:"Write the trace as JSONL.")
+  in
+  let filter_arg =
+    Arg.(
+      value
+      & opt_all filter_conv []
+      & info [ "filter" ] ~docv:"KEY=VALUE"
+          ~doc:
+            "Print entries matching all given filters: $(b,proc=N) \
+             (involving process N), $(b,kind=K) (message kind like 1a/2b, \
+             or an event name like decide), $(b,window=LO:HI) (seconds). \
+             Repeatable.")
+  in
+  let timeline_arg =
+    Arg.(
+      value & flag
+      & info [ "timeline" ] ~doc:"Draw an ASCII per-process timeline.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print the run's metrics registry (counters, histograms).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay an experiment scenario with structured tracing (or import \
+          a JSONL trace), inspect it, and check trace invariants.  Exits \
+          non-zero if any invariant fails.")
+    Term.(
+      const trace_impl $ id_arg $ import_arg $ export_arg $ filter_arg
+      $ timeline_arg $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
 (* realtime                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -542,6 +842,7 @@ let realtime_impl proto n delta ts seed =
       pre_loss = 1.0;
       seed;
       faults = [];
+      record_trace = true;
     }
   in
   let proposals = Array.init n (fun i -> 100 + i) in
@@ -573,7 +874,12 @@ let realtime_impl proto n delta ts seed =
     r.Realtime.Threads_engine.messages_sent r.messages_delivered
     r.messages_dropped;
   if r.Realtime.Threads_engine.agreement_violation then
-    Format.printf "AGREEMENT VIOLATION@."
+    Format.printf "AGREEMENT VIOLATION@.";
+  (* The same trace-driven checker the simulator uses: wall-clock trace,
+     so no timer bounds, but agreement/causality/monotonicity apply. *)
+  Format.printf "%a@." Harness.Invariants.pp
+    (Harness.Invariants.check ~proposals
+       r.Realtime.Threads_engine.trace)
 
 let realtime_cmd =
   let delta_rt =
@@ -617,6 +923,14 @@ let main =
        ~doc:
          "Reproduction of \"How Fast Can Eventual Synchrony Lead to \
           Consensus?\" (Dutta, Guerraoui, Lamport; DSN 2005).")
-    [ run_cmd; experiment_cmd; sweep_cmd; check_cmd; realtime_cmd; list_cmd ]
+    [
+      run_cmd;
+      experiment_cmd;
+      trace_cmd;
+      sweep_cmd;
+      check_cmd;
+      realtime_cmd;
+      list_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

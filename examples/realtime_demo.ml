@@ -23,6 +23,7 @@ let () =
       pre_loss = 1.0;
       seed = 11L;
       faults = [];
+      record_trace = false;
     }
   in
   let proposals = Array.init n (fun i -> 100 + i) in

@@ -111,5 +111,7 @@ let protocol ?tuning ~n ~delta () =
             Engine.set_timer ctx ~local_delay:tuning.period ~tag:tick_tag;
             Engine.persist ctx st;
             st);
-    msg_info = (fun (Heartbeat { id }) -> Printf.sprintf "hb(%d)" id);
+    msg_payload =
+      (fun (Heartbeat { id }) ->
+        Sim.Trace.payload ~detail:(Printf.sprintf "p%d" id) "hb");
   }

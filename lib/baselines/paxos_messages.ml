@@ -16,3 +16,14 @@ let info = function
   | P2b { mbal; value } -> Printf.sprintf "2b(b%d,v%d)" mbal value
   | Rejected { mbal } -> Printf.sprintf "rejected(b%d)" mbal
   | Decision { value } -> Printf.sprintf "decision(v%d)" value
+
+let payload = function
+  | P1a { mbal } -> Sim.Trace.payload ~ballot:mbal ~phase:1 "1a"
+  | P1b { mbal; vote } ->
+      Sim.Trace.payload ~ballot:mbal ~phase:1
+        ~detail:(Format.asprintf "%a" Vote.pp vote)
+        "1b"
+  | P2a { mbal; value } -> Sim.Trace.payload ~ballot:mbal ~phase:2 ~value "2a"
+  | P2b { mbal; value } -> Sim.Trace.payload ~ballot:mbal ~phase:2 ~value "2b"
+  | Rejected { mbal } -> Sim.Trace.payload ~ballot:mbal "rejected"
+  | Decision { value } -> Sim.Trace.payload ~value "decision"

@@ -13,4 +13,9 @@ type t =
           owner of the rejected message's ballot *)
   | Decision of { value : Types.value }
 
+(** One-line human-readable description. *)
 val info : t -> string
+
+(** Structured trace payload (no session field: traditional Paxos has no
+    session discipline). *)
+val payload : t -> Sim.Trace.payload

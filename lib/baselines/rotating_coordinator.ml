@@ -226,5 +226,5 @@ let protocol ?tuning ~n ~delta () =
             Engine.set_timer ctx ~local_delay:tuning.epsilon ~tag:resend_tag;
             Engine.persist ctx st;
             st);
-    msg_info = Rotating_messages.info;
+    msg_payload = Rotating_messages.payload;
   }

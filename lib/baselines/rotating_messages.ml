@@ -16,3 +16,12 @@ let info = function
   | Propose { round; value } -> Printf.sprintf "propose(r%d,v%d)" round value
   | Ack { round; value } -> Printf.sprintf "ack(r%d,v%d)" round value
   | Decision { value } -> Printf.sprintf "decision(v%d)" value
+
+let payload = function
+  | Estimate { round; est; ts } ->
+      Sim.Trace.payload ~round ~value:est
+        ~detail:(Printf.sprintf "ts%d" ts)
+        "est"
+  | Propose { round; value } -> Sim.Trace.payload ~round ~value "propose"
+  | Ack { round; value } -> Sim.Trace.payload ~round ~value "ack"
+  | Decision { value } -> Sim.Trace.payload ~value "decision"

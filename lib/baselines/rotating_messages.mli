@@ -16,6 +16,12 @@ type t =
           round decides *)
   | Decision of { value : Types.value }
 
+(** Round carried by the message ([None] for [Decision]). *)
 val round_of : t -> int option
 
+(** One-line human-readable description. *)
 val info : t -> string
+
+(** Structured trace payload: kind ["est"]/["propose"]/["ack"]/
+    ["decision"] with round and value. *)
+val payload : t -> Sim.Trace.payload

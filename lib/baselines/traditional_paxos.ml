@@ -257,5 +257,5 @@ let protocol ?tuning ~n ~delta ~oracle () =
             Engine.set_timer ctx ~local_delay:tuning.theta ~tag:tick_tag;
             Engine.persist ctx st;
             st);
-    msg_info = Paxos_messages.info;
+    msg_payload = Paxos_messages.payload;
   }

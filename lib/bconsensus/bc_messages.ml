@@ -20,3 +20,15 @@ let info = function
       | Some v -> Printf.sprintf "lock(r%d,v%d)" round v
       | None -> Printf.sprintf "lock(r%d,?)" round)
   | Decision { value } -> Printf.sprintf "decision(v%d)" value
+
+let payload = function
+  | First { stamp; round; value } ->
+      Sim.Trace.payload ~round ~value
+        ~detail:(Format.asprintf "@%a" Logical_clock.pp_stamp stamp)
+        "first"
+  | Report { round; value } -> Sim.Trace.payload ~round ~value "report"
+  | Lock { round; value } -> (
+      match value with
+      | Some value -> Sim.Trace.payload ~round ~value "lock"
+      | None -> Sim.Trace.payload ~round ~detail:"?" "lock")
+  | Decision { value } -> Sim.Trace.payload ~value "decision"

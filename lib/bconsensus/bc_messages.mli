@@ -14,6 +14,12 @@ type t =
           reports, [None] (the Ben-Or "?") otherwise *)
   | Decision of { value : Types.value }
 
+(** Round carried by the message ([None] for [Decision]). *)
 val round_of : t -> int option
 
+(** One-line human-readable description. *)
 val info : t -> string
+
+(** Structured trace payload: kind ["first"]/["report"]/["lock"]/
+    ["decision"] with round and value. *)
+val payload : t -> Sim.Trace.payload

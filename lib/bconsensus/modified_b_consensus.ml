@@ -346,5 +346,5 @@ let protocol ?tuning ~n ~delta ~rho () =
             Engine.set_timer ctx ~local_delay:cfg.hold_local ~tag:oracle_tag;
             Engine.persist ctx st;
             st);
-    msg_info = Bc_messages.info;
+    msg_payload = Bc_messages.payload;
   }

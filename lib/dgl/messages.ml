@@ -23,3 +23,20 @@ let info = function
   | P2a { mbal; value } -> Printf.sprintf "2a(b%d,v%d)" mbal value
   | P2b { mbal; value } -> Printf.sprintf "2b(b%d,v%d)" mbal value
   | Decision { value } -> Printf.sprintf "decision(v%d)" value
+
+let payload ~n = function
+  | P1a { mbal } ->
+      Sim.Trace.payload ~ballot:mbal ~session:(Ballot.session ~n mbal)
+        ~phase:1 "1a"
+  | P1b { mbal; vote } ->
+      Sim.Trace.payload ~ballot:mbal ~session:(Ballot.session ~n mbal)
+        ~phase:1
+        ~detail:(Format.asprintf "%a" Vote.pp vote)
+        "1b"
+  | P2a { mbal; value } ->
+      Sim.Trace.payload ~ballot:mbal ~session:(Ballot.session ~n mbal)
+        ~phase:2 ~value "2a"
+  | P2b { mbal; value } ->
+      Sim.Trace.payload ~ballot:mbal ~session:(Ballot.session ~n mbal)
+        ~phase:2 ~value "2b"
+  | Decision { value } -> Sim.Trace.payload ~value "decision"

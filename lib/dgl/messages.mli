@@ -33,4 +33,10 @@ val mbal : t -> Ballot.t option
     ballot), not whom the message counts as contact with. *)
 val session_sender : n:int -> src:Types.proc_id -> t -> Types.proc_id option
 
+(** One-line human-readable description, e.g. ["1a(b7)"]. *)
 val info : t -> string
+
+(** Structured trace payload: kind ["1a"]/["1b"]/["2a"]/["2b"]/
+    ["decision"], with ballot, session ([b / n]), phase and value as
+    applicable. *)
+val payload : n:int -> t -> Sim.Trace.payload

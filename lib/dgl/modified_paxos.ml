@@ -66,6 +66,7 @@ let adopt_ballot ?(how = "adopt") ctx st b =
   if new_session > st.session.Session.number then begin
     let st = { st with session = Session.enter st.session ~number:new_session } in
     Engine.note ctx (Printf.sprintf "session:%d:%s" new_session how);
+    Engine.count ctx "session_entries";
     Engine.set_timer ctx ~local_delay:st.cfg.Config.timer_local
       ~tag:new_session;
     gossip_1a ctx st
@@ -88,6 +89,7 @@ let start_phase1 ctx st =
   let b =
     Ballot.next_session ~n:(n_of st) ~proc:(Engine.self ctx) st.mbal
   in
+  Engine.count ctx "phase1_starts";
   adopt_ballot ~how:"start" ctx st b
 
 let can_start st =
@@ -286,5 +288,5 @@ let protocol ?(options = default_options) cfg =
         let st = on_restart_impl cfg options ctx ~persisted in
         Engine.persist ctx st;
         st);
-    msg_info = Messages.info;
+    msg_payload = Messages.payload ~n:cfg.Config.n;
   }

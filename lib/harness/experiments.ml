@@ -12,38 +12,103 @@ let seeds = function Quick -> 3 | Full -> 10
 
 let seed_base = 42L
 
-(* Safety violations are collected per row.  Rows fan out across domains
-   ({!Measure.par_map}), so each row body receives a private collector;
-   {!par_collect} merges the collected notes in row order, which keeps
-   the rendered tables byte-identical whatever SIM_DOMAINS is. *)
-let check notes r =
+(* Safety violations and run metrics are collected per row.  Rows fan
+   out across domains ({!Measure.par_map}), so each row body receives a
+   private collector; {!par_collect} merges notes and registries in row
+   order, which keeps the rendered tables byte-identical whatever
+   SIM_DOMAINS is (registry merges are commutative sums anyway). *)
+type obs = { notes : string list ref; reg : Sim.Registry.t }
+
+(* Process-wide metrics accumulator, fed by every [par_collect] so bench
+   can dump one aggregate registry into BENCH_RESULTS.json.  Experiment
+   bodies run on worker domains, hence the mutex. *)
+let collector = Sim.Registry.create ()
+
+let collector_mu = Mutex.create ()
+
+let reset_metrics () =
+  Mutex.protect collector_mu (fun () -> Sim.Registry.reset collector)
+
+let metrics_snapshot () =
+  Mutex.protect collector_mu (fun () ->
+      let c = Sim.Registry.create () in
+      Sim.Registry.merge_into ~dst:c collector;
+      c)
+
+(* Fold one run's counters/histograms into the row's registry.  Called
+   by [check]; experiments that skip the generic safety check (SMR
+   checksum decisions, leader election) call it directly. *)
+let record_metrics obs r =
+  Sim.Registry.merge_into ~dst:obs.reg r.Sim.Engine.metrics
+
+let check obs r =
+  record_metrics obs r;
   match Measure.check_safety r with
   | Ok () -> ()
   | Error msg ->
-      notes :=
+      obs.notes :=
         Printf.sprintf "%s (scenario %s, seed %Ld)" msg
           r.Sim.Engine.scenario.Sim.Scenario.name
           r.Sim.Engine.scenario.Sim.Scenario.seed
-        :: !notes
+        :: !(obs.notes)
 
 (* [par_collect xs f] maps [f] over [xs] on the sweep pool, giving each
-   element a fresh note collector; returns the results in input order
-   and the notes merged in input order (each element's notes in
-   occurrence order). *)
+   element a fresh observability collector; returns the results in input
+   order, the notes merged in input order (each element's notes in
+   occurrence order), and the per-element registries merged into one. *)
 let par_collect xs f =
-  let pairs =
+  let triples =
     Measure.par_map
       (fun x ->
-        let notes = ref [] in
-        let y = f notes x in
-        (y, List.rev !notes))
+        let obs = { notes = ref []; reg = Sim.Registry.create () } in
+        let y = f obs x in
+        (y, List.rev !(obs.notes), obs.reg))
       xs
   in
-  (List.map fst pairs, List.concat_map snd pairs)
+  let merged = Sim.Registry.create () in
+  List.iter
+    (fun (_, _, reg) -> Sim.Registry.merge_into ~dst:merged reg)
+    triples;
+  Mutex.protect collector_mu (fun () ->
+      Sim.Registry.merge_into ~dst:collector merged);
+  ( List.map (fun (y, _, _) -> y) triples,
+    List.concat_map (fun (_, ns, _) -> ns) triples,
+    merged )
 
-let drain_notes ~pass_note = function
-  | [] -> [ pass_note ]
-  | notes -> ("SAFETY VIOLATIONS DETECTED:" :: notes) @ [ pass_note ]
+(* One deterministic summary line per table, from the table's merged
+   registry.  Only sums and bucket quantiles appear, so the line is
+   byte-identical across SIM_DOMAINS settings. *)
+let metrics_note reg =
+  let c name = Sim.Registry.counter_total reg name in
+  let q p =
+    match Sim.Registry.quantile reg "decision_latency_delta" p with
+    | Some v -> Printf.sprintf "%gd" v
+    | None -> "n/a"
+  in
+  let protocol_counters =
+    List.filter_map
+      (fun (name, label) ->
+        let v = c name in
+        if v = 0 then None else Some (Printf.sprintf "%s %d" label v))
+      [
+        ("phase1_starts", "phase-1 starts");
+        ("session_entries", "session entries");
+      ]
+  in
+  Printf.sprintf
+    "observability: %d runs; msgs sent/delivered/dropped %d/%d/%d%s; \
+     decision latency p50<=%s p95<=%s"
+    (c "runs") (c "msgs_sent") (c "msgs_delivered") (c "msgs_dropped")
+    (match protocol_counters with
+    | [] -> ""
+    | cs -> "; " ^ String.concat ", " cs)
+    (q 0.5) (q 0.95)
+
+let drain_notes ~reg ~pass_note = function
+  | [] -> [ pass_note; metrics_note reg ]
+  | notes ->
+      ("SAFETY VIOLATIONS DETECTED:" :: notes)
+      @ [ pass_note; metrics_note reg ]
 
 (* ------------------------------------------------------------------ *)
 (* E1: modified Paxos decides in O(delta), independent of N            *)
@@ -52,8 +117,8 @@ let drain_notes ~pass_note = function
 let e1 ?(speed = Quick) () =
   let cfg_for n = Dgl.Config.make ~n ~delta () in
   let bound = Dgl.Config.decision_bound (cfg_for 3) /. delta in
-  let rows, notes =
-    par_collect (sizes speed) (fun notes n ->
+  let rows, notes, reg =
+    par_collect (sizes speed) (fun obs n ->
         let victims = Adversaries.faulty_minority ~n in
         let faults = Sim.Fault.make ~initially_down:victims [] in
         let live = Measure.procs ~n ~except:victims () in
@@ -63,7 +128,7 @@ let e1 ?(speed = Quick) () =
               ()
           in
           let r = Sim.Engine.run ~injections sc (Dgl.Modified_paxos.protocol (cfg_for n)) in
-          check notes r;
+          check obs r;
           Measure.worst_latency r ~procs:live ~from_time:ts ~delta
         in
         let lat_det =
@@ -98,7 +163,7 @@ let e1 ?(speed = Quick) () =
     ~columns:[ "n"; "faulty"; "mean(d)"; "worst(d)"; "bound(d)"; "<=bound" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "adversaries: faulty minority + injected session-1 obsolete \
             ballots (deterministic net), and 50%-loss random pre-TS net; \
@@ -112,8 +177,8 @@ let e1 ?(speed = Quick) () =
 
 let e2 ?(speed = Quick) () =
   let theta = 2. *. delta in
-  let rows, notes =
-    par_collect (sizes speed) (fun notes n ->
+  let rows, notes, reg =
+    par_collect (sizes speed) (fun obs n ->
         let victims = Adversaries.faulty_minority ~n in
         let faults = Sim.Fault.make ~initially_down:victims [] in
         let live = Measure.procs ~n ~except:victims () in
@@ -131,7 +196,7 @@ let e2 ?(speed = Quick) () =
         let oracle = Baselines.Leader_election.make ~n ~ts ~delta ~faults () in
         let proto = Baselines.Traditional_paxos.protocol ~n ~delta ~oracle () in
         let r = Sim.Engine.run ~injections sc proto in
-        check notes r;
+        check obs r;
         let worst = Measure.worst_latency r ~procs:live ~from_time:ts ~delta in
         let k = List.length victims in
         [
@@ -149,7 +214,7 @@ let e2 ?(speed = Quick) () =
     ~columns:[ "n"; "obsolete"; "worst(d)"; "delta per ballot" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "deterministic-delay net; ballot i lands mid-phase-2 of the \
             leader's retry i; expect ~4 delta per obsolete ballot \
@@ -162,8 +227,8 @@ let e2 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e3 ?(speed = Quick) () =
-  let rows, notes =
-    par_collect (sizes speed) (fun notes n ->
+  let rows, notes, reg =
+    par_collect (sizes speed) (fun obs n ->
         let f = n - Consensus.Quorum.majority n in
         let dead = List.init f (fun i -> i) in
         let faults = Sim.Fault.make ~initially_down:dead [] in
@@ -176,7 +241,7 @@ let e3 ?(speed = Quick) () =
               in
               let proto = Baselines.Rotating_coordinator.protocol ~n ~delta () in
               let r = Sim.Engine.run sc proto in
-              check notes r;
+              check obs r;
               Measure.worst_latency r ~procs:live ~from_time:ts ~delta)
         in
         let worst = List.fold_left Float.max 0. lats in
@@ -196,7 +261,7 @@ let e3 ?(speed = Quick) () =
     ~columns:[ "n"; "dead coords"; "mean(d)"; "worst(d)"; "delta per round" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "the ceil(N/2)-1 lowest-id processes are down; round timeout = \
             4 delta, so expect ~4 delta per dead coordinator"
@@ -212,8 +277,8 @@ let e4 ?(speed = Quick) () =
   let cfg = Dgl.Config.make ~n ~delta () in
   let bound = Dgl.Config.restart_bound cfg /. delta in
   let offsets = [ 10.; 20.; 40.; 80. ] in
-  let rows, notes =
-    par_collect offsets (fun notes off ->
+  let rows, notes, reg =
+    par_collect offsets (fun obs off ->
         let restart_at = ts +. (off *. delta) in
         let faults =
           Sim.Fault.crash_then_restart ~crash_at:(ts /. 2.) ~restart_at 2
@@ -228,7 +293,7 @@ let e4 ?(speed = Quick) () =
                   ()
               in
               let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-              check notes r;
+              check obs r;
               Measure.worst_latency r ~procs:[ 2 ] ~from_time:restart_at
                 ~delta)
         in
@@ -248,7 +313,7 @@ let e4 ?(speed = Quick) () =
     ~columns:[ "restart at"; "mean(d)"; "worst(d)"; "bound(d)"; "<=bound" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "n=5; process 2 crashes before TS and restarts at the given \
             offset; latency measured from the restart instant; decision \
@@ -263,8 +328,8 @@ let e4 ?(speed = Quick) () =
 
 let e5 ?(speed = Quick) () =
   let dgl_ref = Dgl.Config.decision_bound (Dgl.Config.make ~n:3 ~delta ()) /. delta in
-  let rows, notes =
-    par_collect (sizes speed) (fun notes n ->
+  let rows, notes, reg =
+    par_collect (sizes speed) (fun obs n ->
         let victims = Adversaries.faulty_minority ~n in
         let faults = Sim.Fault.make ~initially_down:victims [] in
         let live = Measure.procs ~n ~except:victims () in
@@ -277,7 +342,7 @@ let e5 ?(speed = Quick) () =
             Bconsensus.Modified_b_consensus.protocol ~n ~delta ~rho:0. ()
           in
           let r = Sim.Engine.run sc proto in
-          check notes r;
+          check obs r;
           Measure.worst_latency r ~procs:live ~from_time:ts ~delta
         in
         let lats =
@@ -303,7 +368,7 @@ let e5 ?(speed = Quick) () =
     ~columns:[ "n"; "mean(d)"; "worst(d)"; "mod-Paxos bound(d)" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "faulty minority down; both silent and 50%-loss pre-TS networks; \
             2 delta oracle hold-back; flat in n like E1"
@@ -318,8 +383,8 @@ let e6 ?(speed = Quick) () =
   let n = 5 in
   let eps_factors = [ 0.125; 0.25; 0.5; 1.; 2.; 4. ] in
   let window = 30. *. delta in
-  let rows, notes =
-    par_collect eps_factors (fun notes f ->
+  let rows, notes, reg =
+    par_collect eps_factors (fun obs f ->
         let epsilon = f *. delta in
         let sigma = Float.max (5. *. delta) (4. *. delta +. epsilon) in
         let cfg = Dgl.Config.make ~n ~delta ~epsilon ~sigma () in
@@ -334,7 +399,7 @@ let e6 ?(speed = Quick) () =
                   ()
               in
               let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-              check notes r;
+              check obs r;
               Measure.worst_latency r
                 ~procs:(Measure.procs ~n ())
                 ~from_time:ts ~delta)
@@ -348,7 +413,7 @@ let e6 ?(speed = Quick) () =
               ~horizon:(2. *. window) ()
           in
           let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-          check notes r;
+          check obs r;
           let sends =
             Sim.Trace.sends_in_window r.Sim.Engine.trace ~lo:window
               ~hi:(2. *. window)
@@ -374,7 +439,7 @@ let e6 ?(speed = Quick) () =
       [ "epsilon"; "mean lat(d)"; "worst lat(d)"; "bound(d)"; "msgs/proc/delta" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "n=5; latency under the silent-until-TS adversary; message rate \
             in the steady state of an already-stable run (algorithm keeps \
@@ -389,7 +454,7 @@ let e6 ?(speed = Quick) () =
 let e7 ?(speed = Quick) () =
   let n = 5 in
   ignore speed;
-  let run notes ~prestart =
+  let run obs ~prestart =
     let options = { Dgl.Modified_paxos.default_options with prestart } in
     let cfg = Dgl.Config.make ~n ~delta () in
     let sc =
@@ -399,11 +464,11 @@ let e7 ?(speed = Quick) () =
         ~network:Sim.Network.deterministic_after_ts ()
     in
     let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol ~options cfg) in
-    check notes r;
+    check obs r;
     Measure.worst_latency r ~procs:(Measure.procs ~n ()) ~from_time:0. ~delta
   in
-  let lats, notes =
-    par_collect [ true; false ] (fun notes prestart -> run notes ~prestart)
+  let lats, notes, reg =
+    par_collect [ true; false ] (fun obs prestart -> run obs ~prestart)
   in
   let pre, cold =
     match lats with [ a; b ] -> (a, b) | _ -> assert false
@@ -423,7 +488,7 @@ let e7 ?(speed = Quick) () =
     ~columns:[ "mode"; "decision time (delta)"; "expected" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "n=5, stable from time 0, deterministic delta-delay network; \
             every message takes exactly delta, so message delays are \
@@ -438,8 +503,8 @@ let e7 ?(speed = Quick) () =
 let e8 ?(speed = Quick) () =
   let n = 5 in
   let sigmas = [ 4.05; 5.; 6.; 8.; 10. ] in
-  let rows, notes =
-    par_collect sigmas (fun notes s ->
+  let rows, notes, reg =
+    par_collect sigmas (fun obs s ->
         let sigma = s *. delta in
         let cfg = Dgl.Config.make ~n ~delta ~sigma () in
         let bound = Dgl.Config.decision_bound cfg /. delta in
@@ -450,7 +515,7 @@ let e8 ?(speed = Quick) () =
                   ~network:Sim.Network.silent_until_ts ()
               in
               let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-              check notes r;
+              check obs r;
               Measure.worst_latency r
                 ~procs:(Measure.procs ~n ())
                 ~from_time:ts ~delta)
@@ -472,7 +537,7 @@ let e8 ?(speed = Quick) () =
     ~columns:[ "sigma"; "mean lat(d)"; "worst lat(d)"; "bound(d)"; "<=bound" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:"n=5, silent-until-TS; larger sigma = lazier session \
                      turnover = later worst-case decisions"
          notes)
@@ -485,8 +550,8 @@ let e8 ?(speed = Quick) () =
 let e9 ?(speed = Quick) () =
   let n = 5 in
   let rhos = [ 0.; 0.02; 0.05; 0.1 ] in
-  let rows, notes =
-    par_collect rhos (fun notes rho ->
+  let rows, notes, reg =
+    par_collect rhos (fun obs rho ->
         let cfg = Dgl.Config.make ~n ~delta ~rho () in
         let bound = Dgl.Config.decision_bound cfg /. delta in
         let lats =
@@ -496,7 +561,7 @@ let e9 ?(speed = Quick) () =
                   ~network:Sim.Network.silent_until_ts ()
               in
               let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
-              check notes r;
+              check obs r;
               Measure.worst_latency r
                 ~procs:(Measure.procs ~n ())
                 ~from_time:ts ~delta)
@@ -518,7 +583,7 @@ let e9 ?(speed = Quick) () =
     ~columns:[ "rho"; "mean lat(d)"; "worst lat(d)"; "bound(d)"; "<=bound" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "n=5, sigma = 5*delta (feasible for rho <= 0.11); per-process \
             clock rates drawn from [1-rho, 1+rho]"
@@ -530,8 +595,8 @@ let e9 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let a1 ?(speed = Quick) () =
-  let rows, notes =
-    par_collect (sizes speed) (fun notes n ->
+  let rows, notes, reg =
+    par_collect (sizes speed) (fun obs n ->
         let victims = Adversaries.faulty_minority ~n in
         let faults = Sim.Fault.make ~initially_down:victims [] in
         let live = Measure.procs ~n ~except:victims () in
@@ -548,7 +613,7 @@ let a1 ?(speed = Quick) () =
             Sim.Engine.run ~injections sc
               (Dgl.Modified_paxos.protocol ~options cfg)
           in
-          check notes r;
+          check obs r;
           Measure.worst_latency r ~procs:live ~from_time:ts ~delta
         in
         let high =
@@ -576,7 +641,7 @@ let a1 ?(speed = Quick) () =
     ~columns:[ "n"; "obsolete"; "ungated worst(d)"; "gated worst(d)" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "the ungated variant faces session-1000k ballots (admissible \
             without the gate); the gated algorithm faces its own worst \
@@ -592,8 +657,8 @@ let a1 ?(speed = Quick) () =
 let a2 ?(speed = Quick) () =
   let n = 9 in
   let factors = [ 0.; 0.5; 1.; 2.; 4. ] in
-  let rows, notes =
-    par_collect factors (fun notes f ->
+  let rows, notes, reg =
+    par_collect factors (fun obs f ->
         let tuning =
           {
             (Bconsensus.Modified_b_consensus.default_tuning ~delta) with
@@ -613,7 +678,7 @@ let a2 ?(speed = Quick) () =
                   ~rho:0. ()
               in
               let r = Sim.Engine.run sc proto in
-              check notes r;
+              check obs r;
               Measure.worst_latency r
                 ~procs:(Measure.procs ~n ())
                 ~from_time:ts ~delta)
@@ -633,7 +698,7 @@ let a2 ?(speed = Quick) () =
     ~columns:[ "hold-back"; "mean lat(d)"; "worst lat(d)" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "n=9, silent-until-TS network; safety never depends on the \
             hold-back (agreement checked on every run), only latency does: \
@@ -652,7 +717,7 @@ let e10 ?(speed = Quick) () =
   let gap = 10. *. delta in
   let per_proc = 6 in
   let submitter = 1 in
-  let run notes ~stable_from_start =
+  let run obs ~stable_from_start =
     let ts' = if stable_from_start then 0. else ts in
     let start = ts' +. (20. *. delta) in
     let workloads =
@@ -674,10 +739,12 @@ let e10 ?(speed = Quick) () =
         ()
     in
     let r = Sim.Engine.run sc (Smr.Multi_paxos.protocol cfg ~workloads) in
+    record_metrics obs r;
     (* SMR decisions are log checksums, so only the agreement half of the
        safety check applies (checksum equality = identical applied logs). *)
     (match r.Sim.Engine.agreement_violation with
-    | Some _ -> notes := "SAFETY: E10 replicated logs diverged" :: !notes
+    | Some _ ->
+        obs.notes := "SAFETY: E10 replicated logs diverged" :: !(obs.notes)
     | None -> ());
     (* commit latency per command from trace notes *)
     let submits = Hashtbl.create 16 and chosens = Hashtbl.create 16 in
@@ -708,29 +775,24 @@ let e10 ?(speed = Quick) () =
     let window_lo = start
     and window_hi = start +. (float_of_int per_proc *. gap) in
     let phase2 = ref 0 and gossip = ref 0 in
-    List.iter
-      (fun e ->
+    Sim.Trace.fold_window
+      (fun () e ->
         match e with
-        | Sim.Trace.Send { t; info; _ }
-          when Sim.Sim_time.in_window t ~lo:window_lo ~hi:window_hi ->
-            let has_prefix p =
-              String.length info >= String.length p
-              && String.sub info 0 (String.length p) = p
-            in
-            if has_prefix "2a" || has_prefix "2b" || has_prefix "forward"
-            then incr phase2
-            else incr gossip
+        | Sim.Trace.Send { payload; _ } -> (
+            match payload.Sim.Trace.kind with
+            | "2a" | "2b" | "forward" -> incr phase2
+            | _ -> incr gossip)
         | _ -> ())
-      (Sim.Trace.entries r.Sim.Engine.trace);
+      () r.Sim.Engine.trace ~lo:window_lo ~hi:window_hi;
     let phase2_per_cmd = float_of_int !phase2 /. float_of_int per_proc in
     let gossip_rate =
       float_of_int !gossip /. ((window_hi -. window_lo) /. delta)
     in
     (lats, phase2_per_cmd, gossip_rate)
   in
-  let variants, notes =
-    par_collect [ true; false ] (fun notes stable_from_start ->
-        run notes ~stable_from_start)
+  let variants, notes, reg =
+    par_collect [ true; false ] (fun obs stable_from_start ->
+        run obs ~stable_from_start)
   in
   let (stable_lats, stable_p2, stable_g), (churn_lats, churn_p2, churn_g) =
     match variants with [ a; b ] -> (a, b) | _ -> assert false
@@ -771,7 +833,7 @@ let e10 ?(speed = Quick) () =
       ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "n=5, 6 commands submitted to a follower 10 delta apart; commit \
             latency = submit to first replica learning the choice; expect \
@@ -792,7 +854,7 @@ let a3 ?(speed = Quick) () =
   let n = 5 in
   let straggler = n - 1 in
   let partition_lengths = [ 25.; 50.; 100. ] in
-  let run notes ~jump ~ts' =
+  let run obs ~jump ~ts' =
     let tuning =
       {
         (Bconsensus.Modified_b_consensus.default_tuning ~delta) with
@@ -826,8 +888,10 @@ let a3 ?(speed = Quick) () =
            ())
         proto
     in
+    record_metrics obs probe;
+    record_metrics obs r;
     (match r.Sim.Engine.agreement_violation with
-    | Some _ -> notes := "SAFETY: A3 disagreement" :: !notes
+    | Some _ -> obs.notes := "SAFETY: A3 disagreement" :: !(obs.notes)
     | None -> ());
     (* retransmission volume right before the heal: messages per delta *)
     let volume =
@@ -841,11 +905,11 @@ let a3 ?(speed = Quick) () =
       Measure.worst_latency r ~procs:[ straggler ] ~from_time:ts' ~delta,
       volume )
   in
-  let rows, notes =
-    par_collect partition_lengths (fun notes len ->
+  let rows, notes, reg =
+    par_collect partition_lengths (fun obs len ->
         let ts' = len *. delta in
-        let rounds, lat_jump, vol_jump = run notes ~jump:true ~ts' in
-        let _, lat_nojump, vol_nojump = run notes ~jump:false ~ts' in
+        let rounds, lat_jump, vol_jump = run obs ~jump:true ~ts' in
+        let _, lat_nojump, vol_nojump = run obs ~jump:false ~ts' in
         [
           Printf.sprintf "%.0f delta" len;
           string_of_int rounds;
@@ -874,7 +938,7 @@ let a3 ?(speed = Quick) () =
       ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "n=5; one process partitioned from boot until TS while the \
             majority keeps advancing rounds; catch-up = straggler's \
@@ -890,8 +954,8 @@ let a3 ?(speed = Quick) () =
 (* ------------------------------------------------------------------ *)
 
 let e11 ?(speed = Quick) () =
-  let rows, notes =
-    par_collect (sizes speed) (fun notes n ->
+  let rows, notes, reg =
+    par_collect (sizes speed) (fun obs n ->
         let k = n - Consensus.Quorum.majority n in
         (* the DEAD processes are the lowest ids: the ones a
            lowest-id-alive elector would trust *)
@@ -910,16 +974,17 @@ let e11 ?(speed = Quick) () =
             Sim.Engine.run ~injections sc
               (Baselines.Heartbeat_omega.protocol ~tuning ~n ~delta ())
           in
+          record_metrics obs r;
           (* all live processes must settle on the lowest live id *)
           List.iter
             (fun p ->
               match r.Sim.Engine.decision_values.(p) with
               | Some v when v <> k ->
-                  notes :=
+                  obs.notes :=
                     Printf.sprintf
                       "SAFETY: E11 p%d settled on leader %d, expected %d" p v
                       k
-                    :: !notes
+                    :: !(obs.notes)
               | _ -> ())
             live;
           Measure.worst_latency r ~procs:live ~from_time:ts ~delta
@@ -965,7 +1030,7 @@ let e11 ?(speed = Quick) () =
       [ "n"; "dead low ids"; "no stale hb: settle(d)"; "stale hbs: settle(d)" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "heartbeat period delta/2, trust window 2.5 delta; settle = all \
             live processes stably trusting the lowest live id; stale \
@@ -982,7 +1047,7 @@ let a4 ?(speed = Quick) () =
   ignore speed;
   let n = 5 in
   let horizon = 3.0 in
-  let run notes ~progress_gate =
+  let run obs ~progress_gate =
     let cfg = Dgl.Config.make ~n ~delta () in
     let workloads =
       Array.init n (fun p ->
@@ -1000,8 +1065,9 @@ let a4 ?(speed = Quick) () =
     let r =
       Sim.Engine.run sc (Smr.Multi_paxos.protocol ~progress_gate cfg ~workloads)
     in
+    record_metrics obs r;
     (match r.Sim.Engine.agreement_violation with
-    | Some _ -> notes := "SAFETY: A4 log divergence" :: !notes
+    | Some _ -> obs.notes := "SAFETY: A4 log divergence" :: !(obs.notes)
     | None -> ());
     let sessions =
       match r.Sim.Engine.final_states.(0) with
@@ -1015,9 +1081,9 @@ let a4 ?(speed = Quick) () =
       float_of_int r.Sim.Engine.messages_sent /. (horizon /. delta),
       converged )
   in
-  let variants, notes =
-    par_collect [ true; false ] (fun notes progress_gate ->
-        run notes ~progress_gate)
+  let variants, notes, reg =
+    par_collect [ true; false ] (fun obs progress_gate ->
+        run obs ~progress_gate)
   in
   let (s_on, m_on, c_on), (s_off, m_off, c_off) =
     match variants with [ a; b ] -> (a, b) | _ -> assert false
@@ -1048,7 +1114,7 @@ let a4 ?(speed = Quick) () =
       [ "variant"; "sessions in 300 delta"; "msgs/delta"; "all converged" ]
     ~rows
     ~notes:
-      (drain_notes
+      (drain_notes ~reg
          ~pass_note:
            "n=5, stable from the start, 5 commands then idle; the gate \
             freezes the session number once the system is healthy; both \
@@ -1159,3 +1225,263 @@ let all ?(speed = Quick) () =
     (fun ((_, f) : _ * (?speed:speed -> unit -> Report.table)) ->
       f ~speed ())
     table
+
+(* ------------------------------------------------------------------ *)
+(* Traced replays: one representative run per experiment               *)
+(* ------------------------------------------------------------------ *)
+
+type replay = {
+  replay_id : string;
+  scenario : Sim.Scenario.t;
+  trace : Sim.Trace.t;
+  metrics : Sim.Registry.t;
+  proposals : int array option;
+  timer_bounds : (float * float) option;
+  invariants : Invariants.report;
+}
+
+(* Wrap a finished run.  [validity] is off for protocols whose decided
+   values are not proposals (SMR log checksums, elected leader ids). *)
+let finish ~replay_id ?timer_bounds ~validity (r : _ Sim.Engine.run_result) =
+  let proposals =
+    if validity then Some r.Sim.Engine.scenario.Sim.Scenario.proposals
+    else None
+  in
+  {
+    replay_id;
+    scenario = r.Sim.Engine.scenario;
+    trace = r.Sim.Engine.trace;
+    metrics = r.Sim.Engine.metrics;
+    proposals;
+    timer_bounds;
+    invariants = Invariants.check ?proposals ?timer_bounds r.Sim.Engine.trace;
+  }
+
+(* Each replay mirrors the representative single run bench/main.ml times
+   for the same experiment id (same sizes, same adversary, same seed),
+   with tracing on. *)
+let replay id =
+  let id = String.lowercase_ascii id in
+  let seed = seed_base in
+  let mk_mp ?options ~n ~cfg ~network ?faults ?horizon ~injections ~sc_ts ()
+      =
+    let sc =
+      Sim.Scenario.make ~name:("replay-" ^ id) ~n ~ts:sc_ts ~delta ~seed
+        ~network ?faults ?horizon ~record_trace:true ()
+    in
+    let r =
+      Sim.Engine.run ~injections sc (Dgl.Modified_paxos.protocol ?options cfg)
+    in
+    finish ~replay_id:id
+      ~timer_bounds:(delta, cfg.Dgl.Config.sigma)
+      ~validity:true r
+  in
+  match id with
+  | "e1" ->
+      let n = 9 in
+      let victims = Adversaries.faulty_minority ~n in
+      Some
+        (mk_mp ~n
+           ~cfg:(Dgl.Config.make ~n ~delta ())
+           ~network:Sim.Network.deterministic_after_ts
+           ~faults:(Sim.Fault.make ~initially_down:victims [])
+           ~injections:
+             (Adversaries.dgl_session1_injections ~n ~from:ts
+                ~spacing:(2. *. delta) ~victims)
+           ~sc_ts:ts ())
+  | "e2" ->
+      let n = 9 in
+      let victims = Adversaries.faulty_minority ~n in
+      let faults = Sim.Fault.make ~initially_down:victims [] in
+      let t0 =
+        Adversaries.traditional_first_start ~ts ~theta:(2. *. delta)
+          ~stabilize_delay:delta
+      in
+      let sc =
+        Sim.Scenario.make ~name:"replay-e2" ~n ~ts ~delta ~seed
+          ~network:Sim.Network.deterministic_after_ts ~faults
+          ~record_trace:true ()
+      in
+      let oracle = Baselines.Leader_election.make ~n ~ts ~delta ~faults () in
+      Some
+        (finish ~replay_id:id ~validity:true
+           (Sim.Engine.run
+              ~injections:
+                (Adversaries.paxos_aligned_injections ~n ~delta ~t0 ~leader:0
+                   ~victims)
+              sc
+              (Baselines.Traditional_paxos.protocol ~n ~delta ~oracle ())))
+  | "e3" ->
+      let n = 9 in
+      let dead = List.init (Consensus.Quorum.majority n - 1) Fun.id in
+      let sc =
+        Sim.Scenario.make ~name:"replay-e3" ~n ~ts ~delta ~seed
+          ~network:Sim.Network.silent_until_ts
+          ~faults:(Sim.Fault.make ~initially_down:dead [])
+          ~record_trace:true ()
+      in
+      Some
+        (finish ~replay_id:id ~validity:true
+           (Sim.Engine.run sc
+              (Baselines.Rotating_coordinator.protocol ~n ~delta ())))
+  | "e4" ->
+      let n = 5 in
+      Some
+        (mk_mp ~n
+           ~cfg:(Dgl.Config.make ~n ~delta ())
+           ~network:(Sim.Network.eventually_synchronous ())
+           ~faults:
+             (Sim.Fault.crash_then_restart ~crash_at:(ts /. 2.)
+                ~restart_at:(ts +. (20. *. delta))
+                2)
+           ~injections:[] ~sc_ts:ts ())
+  | "e5" ->
+      let n = 9 in
+      let victims = Adversaries.faulty_minority ~n in
+      let sc =
+        Sim.Scenario.make ~name:"replay-e5" ~n ~ts ~delta ~seed
+          ~network:Sim.Network.silent_until_ts
+          ~faults:(Sim.Fault.make ~initially_down:victims [])
+          ~record_trace:true ()
+      in
+      Some
+        (finish ~replay_id:id ~validity:true
+           (Sim.Engine.run sc
+              (Bconsensus.Modified_b_consensus.protocol ~n ~delta ~rho:0. ())))
+  | "e6" ->
+      let n = 5 in
+      Some
+        (mk_mp ~n
+           ~cfg:(Dgl.Config.make ~n ~delta ~epsilon:delta ())
+           ~network:Sim.Network.silent_until_ts ~injections:[] ~sc_ts:ts ())
+  | "e7" ->
+      let n = 5 in
+      Some
+        (mk_mp ~n
+           ~options:{ Dgl.Modified_paxos.default_options with prestart = true }
+           ~cfg:(Dgl.Config.make ~n ~delta ())
+           ~network:Sim.Network.deterministic_after_ts ~injections:[]
+           ~sc_ts:0. ())
+  | "e8" ->
+      let n = 5 in
+      Some
+        (mk_mp ~n
+           ~cfg:(Dgl.Config.make ~n ~delta ~sigma:(8. *. delta) ())
+           ~network:Sim.Network.silent_until_ts ~injections:[] ~sc_ts:ts ())
+  | "e9" ->
+      let n = 5 in
+      let cfg = Dgl.Config.make ~n ~delta ~rho:0.05 () in
+      let sc =
+        Sim.Scenario.make ~name:"replay-e9" ~n ~ts ~delta ~rho:0.05 ~seed
+          ~network:Sim.Network.silent_until_ts ~record_trace:true ()
+      in
+      Some
+        (finish ~replay_id:id
+           ~timer_bounds:(delta, cfg.Dgl.Config.sigma)
+           ~validity:true
+           (Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg)))
+  | "a1" ->
+      let n = 9 in
+      let victims = Adversaries.faulty_minority ~n in
+      Some
+        (mk_mp ~n
+           ~options:
+             { Dgl.Modified_paxos.default_options with session_gate = false }
+           ~cfg:(Dgl.Config.make ~n ~delta ())
+           ~network:Sim.Network.deterministic_after_ts
+           ~faults:(Sim.Fault.make ~initially_down:victims [])
+           ~injections:
+             (Adversaries.dgl_high_session_injections ~n ~from:ts
+                ~spacing:(3. *. delta) ~victims)
+           ~sc_ts:ts ())
+  | "a2" ->
+      let n = 9 in
+      let tuning =
+        {
+          (Bconsensus.Modified_b_consensus.default_tuning ~delta) with
+          hold_back = 0.5 *. delta;
+        }
+      in
+      let sc =
+        Sim.Scenario.make ~name:"replay-a2" ~n ~ts ~delta ~seed
+          ~network:(Sim.Network.eventually_synchronous ())
+          ~horizon:(ts +. (500. *. delta))
+          ~record_trace:true ()
+      in
+      Some
+        (finish ~replay_id:id ~validity:true
+           (Sim.Engine.run sc
+              (Bconsensus.Modified_b_consensus.protocol ~tuning ~n ~delta
+                 ~rho:0. ())))
+  | "e10" ->
+      let n = 5 in
+      let cfg = Dgl.Config.make ~n ~delta () in
+      let workloads =
+        Array.init n (fun p ->
+            if p <> 1 then []
+            else
+              List.init 4 (fun k ->
+                  ( 0.2 +. (10. *. delta *. float_of_int k),
+                    Smr.Command.make ~id:k (Smr.Command.Add 1) )))
+      in
+      let sc =
+        Sim.Scenario.make ~name:"replay-e10" ~n ~ts:0. ~delta ~seed
+          ~network:Sim.Network.deterministic_after_ts ~horizon:1.0
+          ~record_trace:true ()
+      in
+      Some
+        (finish ~replay_id:id ~validity:false
+           (Sim.Engine.run sc (Smr.Multi_paxos.protocol cfg ~workloads)))
+  | "a3" ->
+      let n = 5 in
+      let tuning =
+        {
+          (Bconsensus.Modified_b_consensus.default_tuning ~delta) with
+          epsilon = delta;
+          jump = false;
+        }
+      in
+      let sc =
+        Sim.Scenario.make ~name:"replay-a3" ~n ~ts:(25. *. delta) ~delta
+          ~seed
+          ~network:
+            (Sim.Network.partitioned_until_ts [ List.init (n - 1) Fun.id ])
+          ~horizon:((25. *. delta) +. 2.)
+          ~record_trace:true ()
+      in
+      Some
+        (finish ~replay_id:id ~validity:true
+           (Sim.Engine.run sc
+              (Bconsensus.Modified_b_consensus.protocol ~tuning ~n ~delta
+                 ~rho:0. ())))
+  | "e11" ->
+      let n = 9 in
+      let dead = List.init (n - Consensus.Quorum.majority n) Fun.id in
+      let sc =
+        Sim.Scenario.make ~name:"replay-e11" ~n ~ts ~delta ~seed
+          ~network:Sim.Network.deterministic_after_ts
+          ~faults:(Sim.Fault.make ~initially_down:dead [])
+          ~horizon:(ts +. 1.0) ~record_trace:true ()
+      in
+      Some
+        (finish ~replay_id:id ~validity:false
+           (Sim.Engine.run sc
+              (Baselines.Heartbeat_omega.protocol ~n ~delta ())))
+  | "a4" ->
+      let n = 5 in
+      let cfg = Dgl.Config.make ~n ~delta () in
+      let workloads =
+        Array.init n (fun p ->
+            if p <> 1 then []
+            else [ (0.1, Smr.Command.make ~id:0 (Smr.Command.Add 1)) ])
+      in
+      let sc =
+        Sim.Scenario.make ~name:"replay-a4" ~n ~ts:0. ~delta ~seed
+          ~network:Sim.Network.always_synchronous ~stop_on_all_decided:false
+          ~horizon:1.0 ~record_trace:true ()
+      in
+      Some
+        (finish ~replay_id:id ~validity:false
+           (Sim.Engine.run sc
+              (Smr.Multi_paxos.protocol ~progress_gate:false cfg ~workloads)))
+  | _ -> None

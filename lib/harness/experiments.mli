@@ -86,3 +86,41 @@ val headline : ?speed:speed -> unit -> (string * float) list
 val by_id : string -> (?speed:speed -> unit -> Report.table) option
 
 val ids : string list
+
+(** {1 Aggregate run metrics}
+
+    Every experiment folds each run's {!Sim.Registry} into a
+    process-wide collector (mutex-guarded: experiment bodies execute on
+    {!Measure} worker domains).  Since only commutative sums and bucket
+    counts are accumulated, the snapshot is byte-identical whatever
+    [SIM_DOMAINS] is. *)
+
+(** Clear the process-wide metrics collector. *)
+val reset_metrics : unit -> unit
+
+(** A copy of everything collected since the last {!reset_metrics}. *)
+val metrics_snapshot : unit -> Sim.Registry.t
+
+(** {1 Traced replays}
+
+    One representative, fully-traced run per experiment id — the same
+    scenario bench/main.ml times for that id.  This is what the
+    [consensus_sim trace] subcommand replays and what the invariant
+    tests check. *)
+
+type replay = {
+  replay_id : string;  (** lower-cased experiment id *)
+  scenario : Sim.Scenario.t;  (** the scenario that was run *)
+  trace : Sim.Trace.t;  (** full structured trace (recording on) *)
+  metrics : Sim.Registry.t;  (** the run's counters and histograms *)
+  proposals : int array option;
+      (** [Some] when decided values are proposals (validity applies) *)
+  timer_bounds : (float * float) option;
+      (** [(delta, sigma)] for modified-Paxos runs: session timers must
+          stay inside [[4 delta, sigma]] *)
+  invariants : Invariants.report;  (** checker verdict on the trace *)
+}
+
+(** [replay id] runs the representative scenario for [id]
+    (case-insensitive) with tracing on; [None] for unknown ids. *)
+val replay : string -> replay option

@@ -1,0 +1,180 @@
+(* Trace-driven invariant checking.
+
+   Everything here re-derives its verdict from the recorded (or
+   imported) trace alone — independent of the engine state that produced
+   it — so a JSONL trace from disk is as checkable as a live run. *)
+
+type violation = { check : string; detail : string }
+
+type report = {
+  entries_checked : int;
+  wrapped : bool;
+  violations : violation list;
+}
+
+let ok r = r.violations = []
+
+(* Absolute slack on float comparisons: trace times survive a JSONL
+   round-trip exactly (%.17g), so this only absorbs arithmetic noise in
+   derived quantities like [fire_at - t]. *)
+let tol = 1e-9
+
+let pp fmt r =
+  if ok r then
+    Format.fprintf fmt "invariants OK (%d entries%s)" r.entries_checked
+      (if r.wrapped then ", ring wrapped: causality checks skipped" else "")
+  else begin
+    Format.fprintf fmt "%d invariant violation(s) in %d entries:@."
+      (List.length r.violations) r.entries_checked;
+    List.iter
+      (fun v -> Format.fprintf fmt "  [%s] %s@." v.check v.detail)
+      r.violations
+  end
+
+(* Notes of the form "session:<k>:<how>" are the modified algorithms'
+   session-entry markers (see lib/dgl/modified_paxos.ml). *)
+let session_of_note text =
+  match String.split_on_char ':' text with
+  | "session" :: k :: _ -> int_of_string_opt k
+  | _ -> None
+
+let check ?proposals ?timer_bounds trace =
+  let violations = ref [] in
+  let add check detail = violations := { check; detail } :: !violations in
+  let wrapped = Sim.Trace.dropped_oldest trace > 0 in
+  (* agreement + decide-once + validity *)
+  let decided : (int, Sim.Sim_time.t * int) Hashtbl.t = Hashtbl.create 8 in
+  let first_decision = ref None in
+  (* message causality: id -> (send_time, src, dst) *)
+  let sends : (int, Sim.Sim_time.t * int * int) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  (* timer causality: (proc, tag) -> pending fire_at list *)
+  let timers : (int * int, Sim.Sim_time.t list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* session monotonicity: proc -> last session entered *)
+  let sessions : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let check_msg_causality ~what ~t ~id ~src ~dst =
+    if (not wrapped) && id >= 0 then
+      match Hashtbl.find_opt sends id with
+      | None ->
+          add "causality"
+            (Printf.sprintf
+               "%s of message #%d %d->%d at %s has no recorded send" what id
+               src dst (Sim.Sim_time.to_string t))
+      | Some (t0, src0, dst0) ->
+          if src0 <> src || dst0 <> dst then
+            add "causality"
+              (Printf.sprintf
+                 "message #%d sent as %d->%d but %s as %d->%d" id src0 dst0
+                 what src dst)
+          else if Sim.Sim_time.compare t0 t > 0 then
+            add "causality"
+              (Printf.sprintf "message #%d %s at %s before its send at %s" id
+                 what
+                 (Sim.Sim_time.to_string t)
+                 (Sim.Sim_time.to_string t0))
+  in
+  Sim.Trace.iter
+    (fun e ->
+      match e with
+      | Sim.Trace.Send { t; id; src; dst; _ } ->
+          if id >= 0 && not (Hashtbl.mem sends id) then
+            Hashtbl.add sends id (t, src, dst)
+      | Sim.Trace.Deliver { t; id; src; dst; _ } ->
+          check_msg_causality ~what:"delivery" ~t ~id ~src ~dst
+      | Sim.Trace.Drop { t; id; src; dst; _ } ->
+          (* A drop with no recorded send is the network refusing the
+             message at send time — it is its own origin record. *)
+          if id >= 0 && Hashtbl.mem sends id then
+            check_msg_causality ~what:"drop" ~t ~id ~src ~dst
+          else if id >= 0 then Hashtbl.add sends id (t, src, dst)
+      | Sim.Trace.Timer_set { t; proc; tag; fire_at } ->
+          if Sim.Sim_time.compare fire_at t < 0 then
+            add "timer"
+              (Printf.sprintf "p%d timer tag=%d set at %s to fire in the past"
+                 proc tag
+                 (Sim.Sim_time.to_string t));
+          (match timer_bounds with
+          | Some (delta, sigma) when tag >= 0 ->
+              (* Session timers must keep their real duration inside the
+                 paper's [4 delta, sigma] window (Section 4). *)
+              let d = Sim.Sim_time.diff fire_at t in
+              if d < (4. *. delta) -. tol || d > sigma +. tol then
+                add "sigma-timer"
+                  (Printf.sprintf
+                     "p%d session timer tag=%d runs %.6fs, outside [4d=%.6f, \
+                      sigma=%.6f]"
+                     proc tag d (4. *. delta) sigma)
+          | _ -> ());
+          let key = (proc, tag) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt timers key) in
+          Hashtbl.replace timers key (fire_at :: prev)
+      | Sim.Trace.Timer_fire { t; proc; tag } ->
+          if not wrapped then begin
+            let key = (proc, tag) in
+            let pending =
+              Option.value ~default:[] (Hashtbl.find_opt timers key)
+            in
+            match
+              List.partition
+                (fun fire_at -> Sim.Sim_time.compare fire_at (t +. tol) <= 0)
+                pending
+            with
+            | [], _ ->
+                add "timer"
+                  (Printf.sprintf
+                     "p%d timer tag=%d fired at %s with no due Timer_set"
+                     proc tag
+                     (Sim.Sim_time.to_string t))
+            | _ :: due_rest, not_due ->
+                Hashtbl.replace timers key (due_rest @ not_due)
+          end
+      | Sim.Trace.Note { proc; text; _ } -> (
+          match session_of_note text with
+          | None -> ()
+          | Some s -> (
+              match Hashtbl.find_opt sessions proc with
+              | Some prev when s <= prev ->
+                  add "session-monotonic"
+                    (Printf.sprintf
+                       "p%d entered session %d after already being in \
+                        session %d"
+                       proc s prev)
+              | _ -> Hashtbl.replace sessions proc s))
+      | Sim.Trace.Decide { t; proc; value } -> (
+          (match Hashtbl.find_opt decided proc with
+          | Some _ ->
+              add "decide-once"
+                (Printf.sprintf "p%d decided twice (again at %s)" proc
+                   (Sim.Sim_time.to_string t))
+          | None -> Hashtbl.add decided proc (t, value));
+          (match !first_decision with
+          | None -> first_decision := Some (proc, value)
+          | Some (p0, v0) ->
+              if value <> v0 then
+                add "agreement"
+                  (Printf.sprintf "p%d decided %d but p%d decided %d" proc
+                     value p0 v0));
+          match proposals with
+          | Some props when not (Array.exists (( = ) value) props) ->
+              add "validity"
+                (Printf.sprintf "p%d decided %d, which nobody proposed" proc
+                   value)
+          | _ -> ())
+      | Sim.Trace.Crash _ | Sim.Trace.Restart _ -> ())
+    trace;
+  {
+    entries_checked = Sim.Trace.length trace;
+    wrapped;
+    violations = List.rev !violations;
+  }
+
+let check_run ?timer_bounds ?(check_validity = true) r =
+  let proposals =
+    if check_validity then
+      Some r.Sim.Engine.scenario.Sim.Scenario.proposals
+    else None
+  in
+  check ?proposals ?timer_bounds r.Sim.Engine.trace

@@ -8,7 +8,12 @@ type config = {
   pre_loss : float;
   seed : int64;
   faults : fault list;
+  record_trace : bool;
 }
+
+(* Long wall-clock runs must not accumulate unbounded trace memory, so
+   the realtime executor always records into a bounded ring. *)
+let trace_capacity = 65536
 
 type result = {
   decisions : (float * int) option array;
@@ -17,12 +22,16 @@ type result = {
   messages_dropped : int;
   elapsed : float;
   agreement_violation : bool;
+  trace : Sim.Trace.t;
+  metrics : Sim.Registry.t;
 }
 
 (* One mailbox entry: a message from a peer, an expired timer (tagged
-   with the incarnation that armed it), or a fault action. *)
+   with the incarnation that armed it), or a fault action.  Messages
+   carry their trace id and payload, minted at send time, so the router
+   can record deliveries without knowing the message type. *)
 type 'msg item =
-  | Ev_msg of int * 'msg
+  | Ev_msg of { src : int; id : int; payload : Sim.Trace.payload; msg : 'msg }
   | Ev_timer of int * int  (* incarnation, tag *)
   | Ev_crash
   | Ev_restart
@@ -46,6 +55,9 @@ type 'msg shared = {
   mutable delivered : int;
   mutable dropped : int;
   mutable violation : bool;
+  trace : Sim.Trace.t;  (* guarded by [mutex] *)
+  metrics : Sim.Registry.t;  (* guarded by [mutex] *)
+  mutable next_msg_id : int;  (* guarded by [mutex] *)
 }
 
 let now sh = Unix.gettimeofday () -. sh.start
@@ -77,14 +89,28 @@ let router sh () =
             List.iter
               (fun p ->
                 match p.what with
-                | Ev_msg _ when not sh.up.(p.dst) ->
-                    sh.dropped <- sh.dropped + 1
+                | Ev_msg { src; id; payload; _ } when not sh.up.(p.dst) ->
+                    sh.dropped <- sh.dropped + 1;
+                    Sim.Registry.inc sh.metrics ~proc:p.dst "msgs_dropped";
+                    Sim.Trace.record sh.trace
+                      (Sim.Trace.Drop
+                         { t = now sh; id; src; dst = p.dst; payload })
                 | Ev_timer _ when not sh.up.(p.dst) -> ()
                 | what ->
                     Queue.push what sh.mailboxes.(p.dst);
                     (match what with
-                    | Ev_msg _ -> sh.delivered <- sh.delivered + 1
-                    | Ev_timer _ | Ev_crash | Ev_restart -> ());
+                    | Ev_msg { src; id; payload; _ } ->
+                        sh.delivered <- sh.delivered + 1;
+                        Sim.Registry.inc sh.metrics ~proc:p.dst
+                          "msgs_delivered";
+                        Sim.Trace.record sh.trace
+                          (Sim.Trace.Deliver
+                             { t = now sh; id; src; dst = p.dst; payload })
+                    | Ev_timer (_, tag) ->
+                        Sim.Trace.record sh.trace
+                          (Sim.Trace.Timer_fire
+                             { t = now sh; proc = p.dst; tag })
+                    | Ev_crash | Ev_restart -> ());
                     Condition.signal sh.conds.(p.dst))
               (List.sort (fun a b -> compare a.at b.at) due);
             true
@@ -108,14 +134,29 @@ let delivery_delay sh ~src ~dst =
   else if Sim.Prng.bool sh.net_rng c.pre_loss then None
   else Some (Sim.Prng.float_range sh.net_rng (0.05 *. c.delta) (4. *. c.delta))
 
-let make_ctx sh ~proposals ~proc_rng ~storage p : _ Sim.Runtime.ctx =
+let make_ctx sh ~proposals ~proc_rng ~storage ~msg_payload p :
+    _ Sim.Runtime.ctx =
   let send ~dst msg =
     locked sh (fun () ->
         sh.sent <- sh.sent + 1;
+        Sim.Registry.inc sh.metrics ~proc:p "msgs_sent";
+        let id = sh.next_msg_id in
+        sh.next_msg_id <- id + 1;
+        let payload () : Sim.Trace.payload =
+          if Sim.Trace.enabled sh.trace then msg_payload msg
+          else Sim.Trace.info ""
+        in
         match delivery_delay sh ~src:p ~dst with
-        | None -> sh.dropped <- sh.dropped + 1
+        | None ->
+            sh.dropped <- sh.dropped + 1;
+            Sim.Registry.inc sh.metrics ~proc:dst "msgs_dropped";
+            Sim.Trace.record sh.trace
+              (Sim.Trace.Drop { t = now sh; id; src = p; dst; payload = payload () })
         | Some d ->
-            enqueue_pending sh ~at:(now sh +. d) ~dst (Ev_msg (p, msg)))
+            Sim.Trace.record sh.trace
+              (Sim.Trace.Send { t = now sh; id; src = p; dst; payload = payload () });
+            enqueue_pending sh ~at:(now sh +. d) ~dst
+              (Ev_msg { src = p; id; payload = payload (); msg }))
   in
   {
     Sim.Runtime.self = p;
@@ -131,16 +172,23 @@ let make_ctx sh ~proposals ~proc_rng ~storage p : _ Sim.Runtime.ctx =
     set_timer =
       (fun ~local_delay ~tag ->
         locked sh (fun () ->
-            enqueue_pending sh
-              ~at:(now sh +. local_delay)
-              ~dst:p
+            let at = now sh +. local_delay in
+            Sim.Trace.record sh.trace
+              (Sim.Trace.Timer_set { t = now sh; proc = p; tag; fire_at = at });
+            enqueue_pending sh ~at ~dst:p
               (Ev_timer (sh.incarnations.(p), tag))));
     persist = (fun st -> locked sh (fun () -> storage.(p) <- Some st));
     decide =
       (fun v ->
         locked sh (fun () ->
             if sh.decisions.(p) = None then begin
-              sh.decisions.(p) <- Some (now sh, v);
+              let t = now sh in
+              sh.decisions.(p) <- Some (t, v);
+              Sim.Registry.inc sh.metrics ~proc:p "decisions";
+              Sim.Registry.observe sh.metrics "decision_latency_delta"
+                ((t -. sh.cfg.ts) /. sh.cfg.delta);
+              Sim.Trace.record sh.trace
+                (Sim.Trace.Decide { t; proc = p; value = v });
               Array.iter
                 (function
                   | Some (_, v') when v' <> v -> sh.violation <- true
@@ -149,7 +197,13 @@ let make_ctx sh ~proposals ~proc_rng ~storage p : _ Sim.Runtime.ctx =
             end));
     has_decided = (fun () -> locked sh (fun () -> sh.decisions.(p) <> None));
     rng = proc_rng;
-    note = (fun _ -> ());
+    note =
+      (fun text ->
+        locked sh (fun () ->
+            Sim.Trace.record sh.trace
+              (Sim.Trace.Note { t = now sh; proc = p; text })));
+    count =
+      (fun name -> locked sh (fun () -> Sim.Registry.inc sh.metrics ~proc:p name));
     oracle_time = (fun () -> now sh);
   }
 
@@ -178,14 +232,22 @@ let process_loop sh (protocol : _ Sim.Runtime.protocol) ctx ~storage p () =
         locked sh (fun () ->
             sh.up.(p) <- false;
             sh.incarnations.(p) <- sh.incarnations.(p) + 1;
-            Queue.clear sh.mailboxes.(p));
+            Queue.clear sh.mailboxes.(p);
+            Sim.Trace.record sh.trace
+              (Sim.Trace.Crash { t = now sh; proc = p }));
         loop ()
     | Some (Ev_restart, _, _) ->
-        let persisted = locked sh (fun () -> sh.up.(p) <- true; storage.(p)) in
+        let persisted =
+          locked sh (fun () ->
+              sh.up.(p) <- true;
+              Sim.Trace.record sh.trace
+                (Sim.Trace.Restart { t = now sh; proc = p });
+              storage.(p))
+        in
         state := protocol.Sim.Runtime.on_restart ctx ~persisted;
         loop ()
     | Some ((Ev_msg _ | Ev_timer _), false, _) -> loop () (* down: drop *)
-    | Some (Ev_msg (src, msg), true, _) ->
+    | Some (Ev_msg { src; msg; _ }, true, _) ->
         state := protocol.Sim.Runtime.on_message ctx !state ~src msg;
         loop ()
     | Some (Ev_timer (inc, tag), true, cur_inc) ->
@@ -227,8 +289,13 @@ let run cfg ~proposals protocol =
       delivered = 0;
       dropped = 0;
       violation = false;
+      trace =
+        Sim.Trace.create ~capacity:trace_capacity ~enabled:cfg.record_trace ();
+      metrics = Sim.Registry.create ();
+      next_msg_id = 0;
     }
   in
+  Sim.Registry.inc sh.metrics "runs";
   let storage = Array.make cfg.n None in
   (* schedule the fault script *)
   locked sh (fun () ->
@@ -240,9 +307,13 @@ let run cfg ~proposals protocol =
         cfg.faults);
   let proc_rngs = Array.init cfg.n (fun _ -> Sim.Prng.split root) in
   let router_thread = Thread.create (router sh) () in
+  let msg_payload = protocol.Sim.Runtime.msg_payload in
   let proc_threads =
     Array.init cfg.n (fun p ->
-        let ctx = make_ctx sh ~proposals ~proc_rng:proc_rngs.(p) ~storage p in
+        let ctx =
+          make_ctx sh ~proposals ~proc_rng:proc_rngs.(p) ~storage ~msg_payload
+            p
+        in
         Thread.create (process_loop sh protocol ctx ~storage p) ())
   in
   (* Wait until every currently-up process decided (with no pending
@@ -279,4 +350,6 @@ let run cfg ~proposals protocol =
     messages_dropped = sh.dropped;
     elapsed = now sh;
     agreement_violation = sh.violation;
+    trace = sh.trace;
+    metrics = sh.metrics;
   }

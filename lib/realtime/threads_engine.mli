@@ -16,10 +16,14 @@
     a few milliseconds as unreliable on a loaded machine).
 
     Limitations compared to the simulator, by design: wall-clock runs
-    are not reproducible, there are no drifting clocks ([rho = 0]) and no
-    tracing.  The executor exists to demonstrate — and test — that the
-    protocol layer is not simulator-bound, not to replace the simulator
-    for experiments. *)
+    are not reproducible and there are no drifting clocks ([rho = 0]).
+    Tracing (when [record_trace] is set) goes into a {e bounded} ring of
+    {!val:trace_capacity} entries, so long runs keep constant memory at
+    the cost of losing the oldest events; entry times are wall-clock
+    seconds from run start, and ordering carries scheduler jitter.  The
+    executor exists to demonstrate — and test — that the protocol layer
+    is not simulator-bound, not to replace the simulator for
+    experiments. *)
 
 type fault = Crash of float * int | Restart of float * int
     (** (wall-clock seconds from start, process) *)
@@ -35,7 +39,12 @@ type config = {
       (** crash wipes volatile state and voids pending timers; restart
           resumes from the last [persist]ed state — same semantics as the
           simulator, on wall time *)
+  record_trace : bool;
+      (** record a bounded structured trace of the run *)
 }
+
+(** Ring-buffer bound for realtime traces (retained entries). *)
+val trace_capacity : int
 
 type result = {
   decisions : (float * int) option array;
@@ -45,6 +54,10 @@ type result = {
   messages_dropped : int;
   elapsed : float;
   agreement_violation : bool;
+  trace : Sim.Trace.t;
+      (** bounded trace of the run (empty when [record_trace] is off) *)
+  metrics : Sim.Registry.t;
+      (** same counter/histogram names as the simulator's {!Sim.Engine} *)
 }
 
 (** [run cfg ~proposals protocol] blocks until every process has decided

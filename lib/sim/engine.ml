@@ -1,5 +1,5 @@
 type 'msg body =
-  | Deliver of { src : int; dst : int; msg : 'msg }
+  | Deliver of { src : int; dst : int; msg_id : int; msg : 'msg }
   | Timer of { proc : int; incarnation : int; tag : int }
   | Fault_action of { proc : int; action : Fault.action }
 
@@ -13,7 +13,7 @@ type ('msg, 'state) protocol = ('msg, 'state) Runtime.protocol = {
   on_timer : ('msg, 'state) Runtime.ctx -> 'state -> tag:int -> 'state;
   on_restart :
     ('msg, 'state) Runtime.ctx -> persisted:'state option -> 'state;
-  msg_info : 'msg -> string;
+  msg_payload : 'msg -> Trace.payload;
 }
 
 type ('msg, 'state) ctx = ('msg, 'state) Runtime.ctx
@@ -33,6 +33,8 @@ type ('msg, 'state) t = {
   decision_times : Sim_time.t option array;
   decision_values : int option array;
   trace : Trace.t;
+  metrics : Registry.t;
+  mutable next_msg_id : int;
   mutable ctxs : ('msg, 'state) ctx array;
   mutable sent : int;
   mutable delivered : int;
@@ -89,6 +91,8 @@ let rng (c : _ ctx) = c.Runtime.rng
 
 let note (c : _ ctx) text = c.Runtime.note text
 
+let count (c : _ ctx) name = c.Runtime.count name
+
 let oracle_time (c : _ ctx) = c.Runtime.oracle_time ()
 
 (* ------------------------------------------------------------------ *)
@@ -98,32 +102,42 @@ let oracle_time (c : _ ctx) = c.Runtime.oracle_time ()
 let eng_send eng p ~dst msg =
   let sc = eng.scenario in
   eng.sent <- eng.sent + 1;
-  let info () = eng.protocol.msg_info msg in
+  Registry.inc eng.metrics ~proc:p "msgs_sent";
+  let payload () = eng.protocol.msg_payload msg in
+  let fresh_id () =
+    let id = eng.next_msg_id in
+    eng.next_msg_id <- id + 1;
+    id
+  in
   match
     sc.Scenario.network.Network.decide eng.net_rng ~now:eng.now
       ~ts:sc.Scenario.ts ~delta:sc.Scenario.delta ~src:p ~dst
   with
   | Network.Drop ->
       eng.dropped <- eng.dropped + 1;
+      Registry.inc eng.metrics ~proc:dst "msgs_dropped";
       if Trace.enabled eng.trace then
         Trace.record eng.trace
-          (Trace.Drop { t = eng.now; src = p; dst; info = info () })
+          (Trace.Drop
+             { t = eng.now; id = fresh_id (); src = p; dst; payload = payload () })
   | Network.Deliver_after delay ->
+      let id = fresh_id () in
       if Trace.enabled eng.trace then
         Trace.record eng.trace
-          (Trace.Send { t = eng.now; src = p; dst; info = info () });
+          (Trace.Send { t = eng.now; id; src = p; dst; payload = payload () });
       schedule eng
         ~at:(Sim_time.add eng.now delay)
-        (Deliver { src = p; dst; msg })
+        (Deliver { src = p; dst; msg_id = id; msg })
   | Network.Deliver_copies delays ->
+      let id = fresh_id () in
       if Trace.enabled eng.trace then
         Trace.record eng.trace
-          (Trace.Send { t = eng.now; src = p; dst; info = info () });
+          (Trace.Send { t = eng.now; id; src = p; dst; payload = payload () });
       List.iter
         (fun delay ->
           schedule eng
             ~at:(Sim_time.add eng.now delay)
-            (Deliver { src = p; dst; msg }))
+            (Deliver { src = p; dst; msg_id = id; msg }))
         delays
 
 let eng_set_timer eng p ~local_delay ~tag =
@@ -156,6 +170,10 @@ let eng_decide eng p v =
         eng.undecided_up_count <- eng.undecided_up_count - 1;
       eng.decision_values.(p) <- Some v;
       eng.decision_times.(p) <- Some eng.now;
+      Registry.inc eng.metrics ~proc:p "decisions";
+      Registry.observe eng.metrics "decision_latency_delta"
+        (Sim_time.diff eng.now eng.scenario.Scenario.ts
+        /. eng.scenario.Scenario.delta);
       Trace.record eng.trace (Trace.Decide { t = eng.now; proc = p; value = v });
       (* Flag (but do not abort on) an agreement violation so that tests
          can surface a safety bug with the full trace in hand. *)
@@ -190,6 +208,7 @@ let make_ctx eng p : _ ctx =
     note =
       (fun text ->
         Trace.record eng.trace (Trace.Note { t = eng.now; proc = p; text }));
+    count = (fun name -> Registry.inc eng.metrics ~proc:p name);
     oracle_time = (fun () -> eng.now);
   }
 
@@ -208,6 +227,7 @@ type 'state run_result = {
   end_time : Sim_time.t;
   events_processed : int;
   trace : Trace.t;
+  metrics : Registry.t;
   agreement_violation : (int * int * int * int) option;
   final_states : 'state option array;
 }
@@ -223,21 +243,35 @@ let should_stop (eng : (_, _) t) =
 let dispatch (eng : (_, _) t) ev =
   eng.events_processed <- eng.events_processed + 1;
   match ev.body with
-  | Deliver { src; dst; msg } -> (
+  | Deliver { src; dst; msg_id; msg } -> (
       match eng.states.(dst) with
       | None ->
           (* Receiver is down: the message is lost on arrival. *)
           eng.dropped <- eng.dropped + 1;
+          Registry.inc eng.metrics ~proc:dst "msgs_dropped";
           if Trace.enabled eng.trace then
             Trace.record eng.trace
               (Trace.Drop
-                 { t = eng.now; src; dst; info = eng.protocol.msg_info msg })
+                 {
+                   t = eng.now;
+                   id = msg_id;
+                   src;
+                   dst;
+                   payload = eng.protocol.msg_payload msg;
+                 })
       | Some st ->
           eng.delivered <- eng.delivered + 1;
+          Registry.inc eng.metrics ~proc:dst "msgs_delivered";
           if Trace.enabled eng.trace then
             Trace.record eng.trace
               (Trace.Deliver
-                 { t = eng.now; src; dst; info = eng.protocol.msg_info msg });
+                 {
+                   t = eng.now;
+                   id = msg_id;
+                   src;
+                   dst;
+                   payload = eng.protocol.msg_payload msg;
+                 });
           eng.states.(dst) <-
             Some (eng.protocol.on_message eng.ctxs.(dst) st ~src msg))
   | Timer { proc; incarnation; tag } -> (
@@ -297,7 +331,12 @@ let run ?(injections = []) scenario protocol =
       proc_rngs;
       decision_times = Array.make n None;
       decision_values = Array.make n None;
-      trace = Trace.create ~enabled:scenario.Scenario.record_trace;
+      trace =
+        Trace.create
+          ~capacity:scenario.Scenario.trace_capacity
+          ~enabled:scenario.Scenario.record_trace ();
+      metrics = Registry.create ();
+      next_msg_id = 0;
       ctxs = [||];
       sent = 0;
       delivered = 0;
@@ -316,9 +355,12 @@ let run ?(injections = []) scenario protocol =
       eng.pending_faults <- eng.pending_faults + 1;
       schedule eng ~at (Fault_action { proc; action }))
     (Fault.sorted_events scenario.Scenario.faults);
-  (* Injected in-flight messages (obsolete pre-TS traffic). *)
+  Registry.inc eng.metrics "runs";
+  (* Injected in-flight messages (obsolete pre-TS traffic): no recorded
+     origin, so they carry [Trace.no_origin] as their message id. *)
   List.iter
-    (fun (at, src, dst, msg) -> schedule eng ~at (Deliver { src; dst; msg }))
+    (fun (at, src, dst, msg) ->
+      schedule eng ~at (Deliver { src; dst; msg_id = Trace.no_origin; msg }))
     injections;
   (* Boot initially-up processes. *)
   for p = 0 to n - 1 do
@@ -354,6 +396,7 @@ let run ?(injections = []) scenario protocol =
     end_time = eng.now;
     events_processed = eng.events_processed;
     trace = eng.trace;
+    metrics = eng.metrics;
     agreement_violation = eng.agreement_violation;
     final_states = Array.copy eng.states;
   }

@@ -32,7 +32,8 @@ type ('msg, 'state) protocol = ('msg, 'state) Runtime.protocol = {
   on_restart : ('msg, 'state) ctx -> persisted:'state option -> 'state;
       (** Called when a crashed process restarts; [persisted] is the last
           value written via {!persist}, if any. *)
-  msg_info : 'msg -> string;  (** short description for traces *)
+  msg_payload : 'msg -> Trace.payload;
+      (** structured trace payload for a wire message *)
 }
 
 (** {2 Context operations available to protocol handlers} *)
@@ -86,6 +87,10 @@ val oracle_time : ('msg, 'state) ctx -> Sim_time.t
 (** Free-text trace annotation (no-op when tracing is off). *)
 val note : ('msg, 'state) ctx -> string -> unit
 
+(** Bump a named protocol counter (attributed to this process) in the
+    run's metrics {!Registry}. *)
+val count : ('msg, 'state) ctx -> string -> unit
+
 (** {2 Running} *)
 
 type 'state run_result = {
@@ -99,6 +104,11 @@ type 'state run_result = {
   end_time : Sim_time.t;
   events_processed : int;
   trace : Trace.t;
+  metrics : Registry.t;
+      (** per-run counters and histograms: ["runs"], ["msgs_sent"],
+          ["msgs_delivered"], ["msgs_dropped"], ["decisions"], the
+          ["decision_latency_delta"] histogram ((t - TS)/delta), plus any
+          protocol counters bumped via {!count} *)
   agreement_violation : (int * int * int * int) option;
       (** [(p1, v1, p2, v2)] if two processes decided differently *)
   final_states : 'state option array;

@@ -18,6 +18,7 @@ type 'a t
     initial array size hint (default 256; clipped to at least 1). *)
 val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
 
+(** Number of queued elements; O(1). *)
 val length : 'a t -> int
 
 val is_empty : 'a t -> bool

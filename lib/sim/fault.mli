@@ -10,6 +10,7 @@
 
 type action = Crash | Restart
 
+(** One scripted action: [proc] crashes or restarts at instant [at]. *)
 type event = { at : Sim_time.t; proc : int; action : action }
 
 type t = {
@@ -20,10 +21,13 @@ type t = {
 (** No faults at all. *)
 val none : t
 
+(** [make ?initially_down events] assembles a schedule. *)
 val make : ?initially_down:int list -> event list -> t
 
+(** [crash ~at p] is the event "process [p] crashes at [at]". *)
 val crash : at:Sim_time.t -> int -> event
 
+(** [restart ~at p] is the event "process [p] restarts at [at]". *)
 val restart : at:Sim_time.t -> int -> event
 
 (** [crash_then_restart ~crash_at ~restart_at p] is the two-event script. *)

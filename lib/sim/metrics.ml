@@ -22,27 +22,35 @@ let stddev = function
       in
       sqrt var
 
-let percentile q xs =
-  if xs = [] then invalid_arg "Metrics.percentile: empty";
+(* Nearest-rank percentile over a sorted array: O(1) per query, so
+   [summarize] can sort once and ask for as many quantiles as it likes. *)
+let percentile_sorted q sorted =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Metrics.percentile: empty";
   if q < 0. || q > 1. then invalid_arg "Metrics.percentile: q not in [0,1]";
-  let sorted = List.sort Float.compare xs in
-  let n = List.length sorted in
   let rank =
     let r = int_of_float (ceil (q *. float_of_int n)) in
     Stdlib.max 1 (Stdlib.min n r)
   in
-  List.nth sorted (rank - 1)
+  sorted.(rank - 1)
+
+let percentile q xs =
+  let sorted = Array.of_list xs in
+  Array.sort Float.compare sorted;
+  percentile_sorted q sorted
 
 let summarize xs =
   if xs = [] then invalid_arg "Metrics.summarize: empty";
+  let sorted = Array.of_list xs in
+  Array.sort Float.compare sorted;
   {
-    samples = List.length xs;
+    samples = Array.length sorted;
     mean = mean xs;
     stddev = stddev xs;
-    min = List.fold_left Float.min Float.infinity xs;
-    max = List.fold_left Float.max Float.neg_infinity xs;
-    p50 = percentile 0.5 xs;
-    p95 = percentile 0.95 xs;
+    min = sorted.(0);
+    max = sorted.(Array.length sorted - 1);
+    p50 = percentile_sorted 0.5 sorted;
+    p95 = percentile_sorted 0.95 sorted;
   }
 
 let linear_fit points =

@@ -9,12 +9,15 @@
 
 type 'a t
 
+(** The empty heap ordered by [cmp]. *)
 val empty : cmp:('a -> 'a -> int) -> 'a t
 
 val is_empty : 'a t -> bool
 
+(** Number of elements; O(1). *)
 val size : 'a t -> int
 
+(** [insert h x] is [h] with [x] added; O(1), persistent. *)
 val insert : 'a t -> 'a -> 'a t
 
 (** Smallest element, if any, without removing it. *)

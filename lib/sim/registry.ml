@@ -1,0 +1,229 @@
+(* Named counters and fixed-bucket histograms, one registry per run.
+
+   A registry is mutated from a single domain (each simulated run is
+   sequential); cross-domain aggregation happens by [merge_into] on the
+   caller's domain after workers return, so no locking is needed here. *)
+
+type counter = {
+  mutable total : int;
+  mutable per_proc : int array;  (* grows on demand; index = process id *)
+}
+
+type histogram = {
+  buckets : float array;  (* upper bounds, strictly increasing *)
+  counts : int array;  (* length = Array.length buckets + 1 (overflow) *)
+  mutable sum : float;
+  mutable n : int;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; histograms = Hashtbl.create 4 }
+
+let default_latency_buckets =
+  [| 1.; 2.; 4.; 6.; 8.; 10.; 12.; 14.; 17.; 20.; 25.; 30.; 40.; 60.; 100. |]
+
+let find_counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+      let c = { total = 0; per_proc = [||] } in
+      Hashtbl.add t.counters name c;
+      c
+
+let ensure_proc c proc =
+  let len = Array.length c.per_proc in
+  if proc >= len then begin
+    let nbuf = Array.make (Stdlib.max (proc + 1) (2 * len)) 0 in
+    Array.blit c.per_proc 0 nbuf 0 len;
+    c.per_proc <- nbuf
+  end
+
+let inc ?proc ?(by = 1) t name =
+  let c = find_counter t name in
+  c.total <- c.total + by;
+  match proc with
+  | None -> ()
+  | Some p when p < 0 -> ()
+  | Some p ->
+      ensure_proc c p;
+      c.per_proc.(p) <- c.per_proc.(p) + by
+
+let counter_total t name =
+  match Hashtbl.find_opt t.counters name with Some c -> c.total | None -> 0
+
+let counter_per_proc t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> Array.copy c.per_proc
+  | None -> [||]
+
+let find_histogram t ~buckets name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          buckets = Array.copy buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          sum = 0.;
+          n = 0;
+        }
+      in
+      Hashtbl.add t.histograms name h;
+      h
+
+let bucket_index buckets v =
+  (* first bucket whose upper bound is >= v; Array.length = overflow *)
+  let lo = ref 0 and hi = ref (Array.length buckets) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if buckets.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let observe ?(buckets = default_latency_buckets) t name v =
+  let h = find_histogram t ~buckets name in
+  let i = bucket_index h.buckets v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.n <- h.n + 1
+
+let histogram_count t name =
+  match Hashtbl.find_opt t.histograms name with Some h -> h.n | None -> 0
+
+let histogram_mean t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h when h.n > 0 -> Some (h.sum /. float_of_int h.n)
+  | _ -> None
+
+(* Upper bound of the bucket containing the q-quantile sample; an
+   estimate, not the exact sample value.  Overflow reports the last
+   finite bound. *)
+let quantile t name q =
+  match Hashtbl.find_opt t.histograms name with
+  | None -> None
+  | Some h when h.n = 0 -> None
+  | Some h ->
+      let target =
+        Stdlib.max 1
+          (int_of_float (ceil (q *. float_of_int h.n)))
+      in
+      let rec go i acc =
+        if i >= Array.length h.counts then
+          h.buckets.(Array.length h.buckets - 1)
+        else
+          let acc = acc + h.counts.(i) in
+          if acc >= target then
+            if i < Array.length h.buckets then h.buckets.(i)
+            else h.buckets.(Array.length h.buckets - 1)
+          else go (i + 1) acc
+      in
+      Some (go 0 0)
+
+let merge_into ~dst src =
+  Hashtbl.iter
+    (fun name (c : counter) ->
+      let d = find_counter dst name in
+      d.total <- d.total + c.total;
+      Array.iteri
+        (fun p v ->
+          if v <> 0 then begin
+            ensure_proc d p;
+            d.per_proc.(p) <- d.per_proc.(p) + v
+          end)
+        c.per_proc)
+    src.counters;
+  Hashtbl.iter
+    (fun name (h : histogram) ->
+      let d = find_histogram dst ~buckets:h.buckets name in
+      if Array.length d.counts <> Array.length h.counts then
+        invalid_arg
+          (Printf.sprintf "Registry.merge_into: bucket mismatch for %S" name)
+      else begin
+        Array.iteri (fun i v -> d.counts.(i) <- d.counts.(i) + v) h.counts;
+        d.sum <- d.sum +. h.sum;
+        d.n <- d.n + h.n
+      end)
+    src.histograms
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histograms
+
+let counters t =
+  Hashtbl.fold (fun name c acc -> (name, c.total) :: acc) t.counters []
+  |> List.sort compare
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h.n, h.sum) :: acc) t.histograms []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"counters\":{";
+  List.iteri
+    (fun i (name, total) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (json_escape name);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int total))
+    (counters t);
+  Buffer.add_string buf "},\"histograms\":{";
+  let hs =
+    Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
+    |> List.sort compare
+  in
+  List.iteri
+    (fun i (name, h) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (json_escape name);
+      Buffer.add_string buf
+        (Printf.sprintf ":{\"n\":%d,\"sum\":%.6f,\"buckets\":[" h.n h.sum);
+      Array.iteri
+        (fun j b ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "%g" b))
+        h.buckets;
+      Buffer.add_string buf "],\"counts\":[";
+      Array.iteri
+        (fun j c ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int c))
+        h.counts;
+      Buffer.add_string buf "]}")
+    hs;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let pp fmt t =
+  List.iter
+    (fun (name, total) -> Format.fprintf fmt "%-24s %d@." name total)
+    (counters t);
+  List.iter
+    (fun (name, n, sum) ->
+      Format.fprintf fmt "%-24s n=%d mean=%.3f p50<=%.3g p95<=%.3g@." name n
+        (if n = 0 then 0. else sum /. float_of_int n)
+        (Option.value ~default:Float.nan (quantile t name 0.5))
+        (Option.value ~default:Float.nan (quantile t name 0.95)))
+    (histograms t)

@@ -11,6 +11,7 @@ type ('msg, 'state) ctx = {
   has_decided : unit -> bool;
   rng : Prng.t;
   note : string -> unit;
+  count : string -> unit;
   oracle_time : unit -> Sim_time.t;
 }
 
@@ -20,5 +21,5 @@ type ('msg, 'state) protocol = {
   on_message : ('msg, 'state) ctx -> 'state -> src:int -> 'msg -> 'state;
   on_timer : ('msg, 'state) ctx -> 'state -> tag:int -> 'state;
   on_restart : ('msg, 'state) ctx -> persisted:'state option -> 'state;
-  msg_info : 'msg -> string;
+  msg_payload : 'msg -> Trace.payload;
 }

@@ -9,9 +9,9 @@
     why the record is public here. *)
 
 type ('msg, 'state) ctx = {
-  self : int;
-  n : int;
-  proposal : int;
+  self : int;  (** this process's id, [0 .. n-1] *)
+  n : int;  (** number of processes *)
+  proposal : int;  (** this process's initial proposal value *)
   local_time : unit -> float;
       (** the process's own (possibly drifting) clock *)
   send : dst:int -> 'msg -> unit;
@@ -20,8 +20,11 @@ type ('msg, 'state) ctx = {
   persist : 'state -> unit;  (** stable storage, survives crashes *)
   decide : int -> unit;
   has_decided : unit -> bool;
-  rng : Prng.t;
+  rng : Prng.t;  (** per-process deterministic randomness *)
   note : string -> unit;  (** trace annotation; may be a no-op *)
+  count : string -> unit;
+      (** bump a named protocol counter in the run's metrics
+          {!Registry} (attributed to [self]); may be a no-op *)
   oracle_time : unit -> Sim_time.t;
       (** real time — for modelling external oracles only, never for
           protocol logic *)
@@ -34,5 +37,7 @@ type ('msg, 'state) protocol = {
   on_message : ('msg, 'state) ctx -> 'state -> src:int -> 'msg -> 'state;
   on_timer : ('msg, 'state) ctx -> 'state -> tag:int -> 'state;
   on_restart : ('msg, 'state) ctx -> persisted:'state option -> 'state;
-  msg_info : 'msg -> string;
+  msg_payload : 'msg -> Trace.payload;
+      (** structured trace payload for a wire message (kind, ballot,
+          session, phase, round, value as applicable) *)
 }

@@ -11,11 +11,13 @@ type t = {
   proposals : int array;
   stop_on_all_decided : bool;
   record_trace : bool;
+  trace_capacity : int;
 }
 
 let make ?(name = "scenario") ?(ts = 0.) ?(delta = 0.01) ?(rho = 0.)
     ?(seed = 1L) ?horizon ?network ?(faults = Fault.none) ?proposals
-    ?(stop_on_all_decided = true) ?(record_trace = false) ~n () =
+    ?(stop_on_all_decided = true) ?(record_trace = false)
+    ?(trace_capacity = 0) ~n () =
   let horizon =
     match horizon with Some h -> h | None -> ts +. (1000. *. delta)
   in
@@ -40,10 +42,12 @@ let make ?(name = "scenario") ?(ts = 0.) ?(delta = 0.01) ?(rho = 0.)
     proposals;
     stop_on_all_decided;
     record_trace;
+    trace_capacity;
   }
 
 let validate t =
   if t.n <= 0 then Error "n must be positive"
+  else if t.trace_capacity < 0 then Error "trace_capacity must be >= 0"
   else if t.delta <= 0. then Error "delta must be positive"
   else if t.rho < 0. || t.rho >= 1. then Error "rho must be in [0, 1)"
   else if t.ts < 0. then Error "ts must be non-negative"

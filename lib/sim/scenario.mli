@@ -20,12 +20,15 @@ type t = {
       (** stop once every currently-up process has decided and no fault
           event is pending *)
   record_trace : bool;
+  trace_capacity : int;
+      (** retained-entry bound for the trace ring buffer; [0] =
+          unbounded (see {!Trace.create}) *)
 }
 
 (** [make ~n ()] builds a scenario with sane defaults: [ts = 0.],
     [delta = 0.01], [rho = 0.], seed 1, horizon [1000 * delta] after
     [ts], synchronous-after-ts network, no faults, proposals
-    [100 + i], early stop on decision, no trace. *)
+    [100 + i], early stop on decision, no trace (unbounded when on). *)
 val make :
   ?name:string ->
   ?ts:Sim_time.t ->
@@ -38,6 +41,7 @@ val make :
   ?proposals:int array ->
   ?stop_on_all_decided:bool ->
   ?record_trace:bool ->
+  ?trace_capacity:int ->
   n:int ->
   unit ->
   t

@@ -6,21 +6,28 @@
 
 type t = float
 
+(** The start of every simulation. *)
 val zero : t
 
 (** Strictly-positive infinity, used as "never" / unbounded horizon. *)
 val infinity : t
 
+(** [add t d] is the instant [d] seconds after [t]. *)
 val add : t -> float -> t
 
+(** [diff a b] is [a -. b], the elapsed seconds from [b] to [a]. *)
 val diff : t -> t -> float
 
+(** Total order on instants, compatible with [( < )] on floats. *)
 val compare : t -> t -> int
 
+(** Earlier of two instants. *)
 val min : t -> t -> t
 
+(** Later of two instants. *)
 val max : t -> t -> t
 
+(** [false] exactly for {!infinity} (and NaN). *)
 val is_finite : t -> bool
 
 (** [in_window t ~lo ~hi] is [lo <= t && t <= hi]. *)
@@ -29,4 +36,5 @@ val in_window : t -> lo:t -> hi:t -> bool
 (** Render as seconds with microsecond precision, e.g. ["1.204000s"]. *)
 val to_string : t -> string
 
+(** Formatter version of {!to_string}. *)
 val pp : Format.formatter -> t -> unit

@@ -8,6 +8,7 @@
 
 type 'a t
 
+(** [create ~n] makes [n] empty slots, one per process. *)
 val create : n:int -> 'a t
 
 (** Overwrite the slot of [proc]. *)

@@ -1,7 +1,49 @@
+(* Structured execution traces, v2.
+
+   Storage is a circular buffer over a growable array: unbounded traces
+   double the array when full (amortized O(1) record, no per-entry list
+   cells), bounded traces overwrite the oldest entry once [capacity] is
+   reached so long realtime runs record in constant memory.  Entries are
+   appended in non-decreasing time order (engine time is monotone), which
+   is what makes windowed queries O(log n + window) via binary search. *)
+
+type payload = {
+  kind : string;
+  session : int option;
+  ballot : int option;
+  phase : int option;
+  round : int option;
+  value : int option;
+  detail : string;
+}
+
+let payload ?session ?ballot ?phase ?round ?value ?(detail = "") kind =
+  { kind; session; ballot; phase; round; value; detail }
+
+let info kind = payload kind
+
+let pp_payload fmt p =
+  Format.pp_print_string fmt p.kind;
+  let fields =
+    List.filter_map
+      (fun (k, v) -> Option.map (fun v -> Printf.sprintf "%s%d" k v) v)
+      [
+        ("s", p.session);
+        ("b", p.ballot);
+        ("ph", p.phase);
+        ("r", p.round);
+        ("v", p.value);
+      ]
+  in
+  if fields <> [] then
+    Format.fprintf fmt "[%s]" (String.concat " " fields);
+  if p.detail <> "" then Format.fprintf fmt " %s" p.detail
+
 type entry =
-  | Send of { t : Sim_time.t; src : int; dst : int; info : string }
-  | Deliver of { t : Sim_time.t; src : int; dst : int; info : string }
-  | Drop of { t : Sim_time.t; src : int; dst : int; info : string }
+  | Send of { t : Sim_time.t; id : int; src : int; dst : int; payload : payload }
+  | Deliver of
+      { t : Sim_time.t; id : int; src : int; dst : int; payload : payload }
+  | Drop of { t : Sim_time.t; id : int; src : int; dst : int; payload : payload }
   | Timer_set of { t : Sim_time.t; proc : int; tag : int; fire_at : Sim_time.t }
   | Timer_fire of { t : Sim_time.t; proc : int; tag : int }
   | Crash of { t : Sim_time.t; proc : int }
@@ -9,21 +51,7 @@ type entry =
   | Decide of { t : Sim_time.t; proc : int; value : int }
   | Note of { t : Sim_time.t; proc : int; text : string }
 
-type t = { enabled : bool; mutable rev_entries : entry list; mutable count : int }
-
-let create ~enabled = { enabled; rev_entries = []; count = 0 }
-
-let enabled t = t.enabled
-
-let record t e =
-  if t.enabled then begin
-    t.rev_entries <- e :: t.rev_entries;
-    t.count <- t.count + 1
-  end
-
-let entries t = List.rev t.rev_entries
-
-let length t = t.count
+let no_origin = -1
 
 let time_of = function
   | Send { t; _ }
@@ -37,28 +65,135 @@ let time_of = function
   | Note { t; _ } ->
       t
 
+type t = {
+  enabled : bool;
+  capacity : int;  (* 0 = unbounded *)
+  mutable buf : entry array;
+  mutable first : int;  (* ring index of the oldest retained entry *)
+  mutable len : int;  (* retained entries *)
+  mutable total : int;  (* entries ever recorded, retained or not *)
+}
+
+let dummy = Note { t = Sim_time.zero; proc = 0; text = "" }
+
+let create ?(capacity = 0) ~enabled () =
+  if capacity < 0 then invalid_arg "Trace.create: negative capacity";
+  {
+    enabled;
+    capacity;
+    buf = [||];
+    first = 0;
+    len = 0;
+    total = 0;
+  }
+
+let enabled t = t.enabled
+
+let length t = t.len
+
+let total_recorded t = t.total
+
+let dropped_oldest t = t.total - t.len
+
+let capacity t = if t.capacity = 0 then None else Some t.capacity
+
+let record t e =
+  if t.enabled then begin
+    t.total <- t.total + 1;
+    let cap = Array.length t.buf in
+    if t.capacity > 0 && t.len = t.capacity then begin
+      (* Bounded and full: overwrite the oldest slot. *)
+      t.buf.((t.first + t.len) mod cap) <- e;
+      t.first <- (t.first + 1) mod cap
+    end
+    else begin
+      if t.len = cap then begin
+        (* Grow (respecting the bound, if any): unwind the ring so the
+           oldest entry sits at index 0 of the new array. *)
+        let want = Stdlib.max 64 (2 * cap) in
+        let want = if t.capacity > 0 then Stdlib.min want t.capacity else want in
+        let nbuf = Array.make want dummy in
+        for i = 0 to t.len - 1 do
+          nbuf.(i) <- t.buf.((t.first + i) mod (Stdlib.max 1 cap))
+        done;
+        t.buf <- nbuf;
+        t.first <- 0
+      end;
+      t.buf.((t.first + t.len) mod Array.length t.buf) <- e;
+      t.len <- t.len + 1
+    end
+  end
+
+(* [get t i]: the [i]th oldest retained entry, 0-based. *)
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of bounds";
+  t.buf.((t.first + i) mod Array.length t.buf)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun e -> acc := f !acc e) t;
+  !acc
+
+let entries t = List.init t.len (get t)
+
+(* Entries are recorded in non-decreasing time order, so the earliest
+   index at or after a time bound is a binary search. *)
+let first_at_or_after t time =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Sim_time.compare (time_of (get t mid)) time < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  !lo
+
+let fold_window f acc t ~lo ~hi =
+  let acc = ref acc in
+  let i = ref (first_at_or_after t lo) in
+  let continue_ = ref true in
+  while !continue_ && !i < t.len do
+    let e = get t !i in
+    if Sim_time.compare (time_of e) hi > 0 then continue_ := false
+    else begin
+      acc := f !acc e;
+      incr i
+    end
+  done;
+  !acc
+
 let sends_in_window t ~lo ~hi =
-  List.fold_left
-    (fun acc e ->
-      match e with
-      | Send { t; _ } when Sim_time.in_window t ~lo ~hi -> acc + 1
-      | _ -> acc)
-    0 (entries t)
+  fold_window
+    (fun acc e -> match e with Send _ -> acc + 1 | _ -> acc)
+    0 t ~lo ~hi
 
 let decisions t =
-  List.filter_map
-    (function
-      | Decide { t; proc; value } -> Some (proc, t, value)
-      | _ -> None)
-    (entries t)
+  List.rev
+    (fold
+       (fun acc e ->
+         match e with
+         | Decide { t; proc; value } -> (proc, t, value) :: acc
+         | _ -> acc)
+       [] t)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+(* ------------------------------------------------------------------ *)
 
 let pp_entry fmt = function
-  | Send { t; src; dst; info } ->
-      Format.fprintf fmt "%a send %d->%d %s" Sim_time.pp t src dst info
-  | Deliver { t; src; dst; info } ->
-      Format.fprintf fmt "%a dlvr %d->%d %s" Sim_time.pp t src dst info
-  | Drop { t; src; dst; info } ->
-      Format.fprintf fmt "%a drop %d->%d %s" Sim_time.pp t src dst info
+  | Send { t; id; src; dst; payload } ->
+      Format.fprintf fmt "%a send #%d %d->%d %a" Sim_time.pp t id src dst
+        pp_payload payload
+  | Deliver { t; id; src; dst; payload } ->
+      Format.fprintf fmt "%a dlvr #%d %d->%d %a" Sim_time.pp t id src dst
+        pp_payload payload
+  | Drop { t; id; src; dst; payload } ->
+      Format.fprintf fmt "%a drop #%d %d->%d %a" Sim_time.pp t id src dst
+        pp_payload payload
   | Timer_set { t; proc; tag; fire_at } ->
       Format.fprintf fmt "%a tset p%d tag=%d fire=%a" Sim_time.pp t proc tag
         Sim_time.pp fire_at
@@ -72,5 +207,316 @@ let pp_entry fmt = function
   | Note { t; proc; text } ->
       Format.fprintf fmt "%a note p%d %s" Sim_time.pp t proc text
 
-let pp fmt t =
-  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (entries t)
+let pp fmt t = iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) t
+
+(* ------------------------------------------------------------------ *)
+(* JSONL export / import                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The export format is one flat JSON object per line.  Keeping values
+   limited to strings, ints and floats lets [of_jsonl] use a tiny
+   hand-rolled parser instead of a JSON dependency. *)
+
+let json_escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* "%.17g" round-trips every finite float through float_of_string. *)
+let add_float buf f = Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let add_field buf ~first k v =
+  if not !first then Buffer.add_char buf ',';
+  first := false;
+  json_escape buf k;
+  Buffer.add_char buf ':';
+  v ()
+
+let add_int_field buf ~first k i =
+  add_field buf ~first k (fun () -> Buffer.add_string buf (string_of_int i))
+
+let add_float_field buf ~first k f =
+  add_field buf ~first k (fun () -> add_float buf f)
+
+let add_str_field buf ~first k s =
+  add_field buf ~first k (fun () -> json_escape buf s)
+
+let add_opt_int_field buf ~first k = function
+  | None -> ()
+  | Some i -> add_int_field buf ~first k i
+
+let add_payload buf ~first p =
+  add_str_field buf ~first "kind" p.kind;
+  add_opt_int_field buf ~first "session" p.session;
+  add_opt_int_field buf ~first "ballot" p.ballot;
+  add_opt_int_field buf ~first "phase" p.phase;
+  add_opt_int_field buf ~first "round" p.round;
+  add_opt_int_field buf ~first "value" p.value;
+  if p.detail <> "" then add_str_field buf ~first "detail" p.detail
+
+let add_entry buf e =
+  Buffer.add_char buf '{';
+  let first = ref true in
+  let msg ev t id src dst payload =
+    add_str_field buf ~first "ev" ev;
+    add_float_field buf ~first "t" t;
+    add_int_field buf ~first "id" id;
+    add_int_field buf ~first "src" src;
+    add_int_field buf ~first "dst" dst;
+    add_payload buf ~first payload
+  in
+  (match e with
+  | Send { t; id; src; dst; payload } -> msg "send" t id src dst payload
+  | Deliver { t; id; src; dst; payload } -> msg "deliver" t id src dst payload
+  | Drop { t; id; src; dst; payload } -> msg "drop" t id src dst payload
+  | Timer_set { t; proc; tag; fire_at } ->
+      add_str_field buf ~first "ev" "timer_set";
+      add_float_field buf ~first "t" t;
+      add_int_field buf ~first "proc" proc;
+      add_int_field buf ~first "tag" tag;
+      add_float_field buf ~first "fire_at" fire_at
+  | Timer_fire { t; proc; tag } ->
+      add_str_field buf ~first "ev" "timer_fire";
+      add_float_field buf ~first "t" t;
+      add_int_field buf ~first "proc" proc;
+      add_int_field buf ~first "tag" tag
+  | Crash { t; proc } ->
+      add_str_field buf ~first "ev" "crash";
+      add_float_field buf ~first "t" t;
+      add_int_field buf ~first "proc" proc
+  | Restart { t; proc } ->
+      add_str_field buf ~first "ev" "restart";
+      add_float_field buf ~first "t" t;
+      add_int_field buf ~first "proc" proc
+  | Decide { t; proc; value } ->
+      add_str_field buf ~first "ev" "decide";
+      add_float_field buf ~first "t" t;
+      add_int_field buf ~first "proc" proc;
+      add_int_field buf ~first "value" value
+  | Note { t; proc; text } ->
+      add_str_field buf ~first "ev" "note";
+      add_float_field buf ~first "t" t;
+      add_int_field buf ~first "proc" proc;
+      add_str_field buf ~first "text" text);
+  Buffer.add_string buf "}\n"
+
+let entry_to_json e =
+  let buf = Buffer.create 128 in
+  add_entry buf e;
+  (* strip the trailing newline for single-entry rendering *)
+  let s = Buffer.contents buf in
+  String.sub s 0 (String.length s - 1)
+
+let to_jsonl t =
+  let buf = Buffer.create (256 * t.len) in
+  iter (add_entry buf) t;
+  Buffer.contents buf
+
+(* --- import -------------------------------------------------------- *)
+
+(* numbers keep their raw lexeme so 63-bit ints round-trip exactly
+   (a float detour would truncate beyond 2^53) *)
+type json_value = Jstr of string | Jnum of string
+
+exception Parse of string
+
+let parse_line line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise (Parse (Printf.sprintf "expected %C at column %d" c !pos))
+  in
+  let skip_ws () =
+    while
+      match peek () with Some (' ' | '\t') -> true | _ -> false
+    do
+      advance ()
+    done
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+          | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then raise (Parse "bad \\u escape");
+              let hex = String.sub line !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> raise (Parse "bad \\u escape")
+              in
+              (* we only emit \u00xx for control chars; decode the
+                 low byte and pass anything else through as '?' *)
+              if code < 0x100 then Buffer.add_char buf (Char.chr code)
+              else Buffer.add_char buf '?'
+          | _ -> raise (Parse "bad escape"));
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> true
+      | Some ('i' | 'n' | 'f' | 'a') -> true (* inf / nan *)
+      | _ -> false
+    do
+      advance ()
+    done;
+    let s = String.sub line start (!pos - start) in
+    match float_of_string_opt s with
+    | Some _ -> s
+    | None -> raise (Parse (Printf.sprintf "bad number %S" s))
+  in
+  let fields = ref [] in
+  skip_ws ();
+  expect '{';
+  skip_ws ();
+  (match peek () with
+  | Some '}' -> advance ()
+  | _ ->
+      let rec members () =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        skip_ws ();
+        let v =
+          match peek () with
+          | Some '"' -> Jstr (parse_string ())
+          | _ -> Jnum (parse_number ())
+        in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            advance ();
+            members ()
+        | Some '}' -> advance ()
+        | _ -> raise (Parse "expected ',' or '}'")
+      in
+      members ());
+  List.rev !fields
+
+let entry_of_fields fields =
+  let str k =
+    match List.assoc_opt k fields with
+    | Some (Jstr s) -> s
+    | Some (Jnum _) -> raise (Parse (Printf.sprintf "field %S: not a string" k))
+    | None -> raise (Parse (Printf.sprintf "missing field %S" k))
+  in
+  let raw_num k =
+    match List.assoc_opt k fields with
+    | Some (Jnum s) -> Some s
+    | Some (Jstr _) -> raise (Parse (Printf.sprintf "field %S: not a number" k))
+    | None -> None
+  in
+  let num k =
+    match raw_num k with
+    | Some s -> float_of_string s
+    | None -> raise (Parse (Printf.sprintf "missing field %S" k))
+  in
+  let int_of_raw k s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None ->
+        let f = float_of_string s in
+        let i = int_of_float f in
+        if float_of_int i <> f then
+          raise (Parse (Printf.sprintf "field %S: not an integer" k));
+        i
+  in
+  let int k =
+    match raw_num k with
+    | Some s -> int_of_raw k s
+    | None -> raise (Parse (Printf.sprintf "missing field %S" k))
+  in
+  let opt_int k = Option.map (int_of_raw k) (raw_num k) in
+  let opt_str ~default k =
+    match List.assoc_opt k fields with Some (Jstr s) -> s | _ -> default
+  in
+  let payload () =
+    {
+      kind = str "kind";
+      session = opt_int "session";
+      ballot = opt_int "ballot";
+      phase = opt_int "phase";
+      round = opt_int "round";
+      value = opt_int "value";
+      detail = opt_str ~default:"" "detail";
+    }
+  in
+  let msg mk =
+    mk ~t:(num "t") ~id:(int "id") ~src:(int "src") ~dst:(int "dst")
+      ~payload:(payload ())
+  in
+  match str "ev" with
+  | "send" -> msg (fun ~t ~id ~src ~dst ~payload -> Send { t; id; src; dst; payload })
+  | "deliver" ->
+      msg (fun ~t ~id ~src ~dst ~payload -> Deliver { t; id; src; dst; payload })
+  | "drop" -> msg (fun ~t ~id ~src ~dst ~payload -> Drop { t; id; src; dst; payload })
+  | "timer_set" ->
+      Timer_set
+        { t = num "t"; proc = int "proc"; tag = int "tag"; fire_at = num "fire_at" }
+  | "timer_fire" ->
+      Timer_fire { t = num "t"; proc = int "proc"; tag = int "tag" }
+  | "crash" -> Crash { t = num "t"; proc = int "proc" }
+  | "restart" -> Restart { t = num "t"; proc = int "proc" }
+  | "decide" -> Decide { t = num "t"; proc = int "proc"; value = int "value" }
+  | "note" -> Note { t = num "t"; proc = int "proc"; text = str "text" }
+  | ev -> raise (Parse (Printf.sprintf "unknown event kind %S" ev))
+
+let of_jsonl s =
+  let tr = create ~enabled:true () in
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno = function
+    | [] -> Ok tr
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" then go (lineno + 1) rest
+        else begin
+          match entry_of_fields (parse_line trimmed) with
+          | e ->
+              record tr e;
+              go (lineno + 1) rest
+          | exception Parse msg ->
+              Error (Printf.sprintf "line %d: %s" lineno msg)
+        end
+  in
+  go 1 lines

@@ -1,13 +1,61 @@
-(** Structured execution traces.
+(** Structured execution traces (v2).
 
     Recording is optional (scenarios enable it); when disabled every call
-    is a no-op, so protocols can trace unconditionally.  Entries are kept
-    in reverse order internally and returned chronologically. *)
+    is a no-op, so protocols can trace unconditionally.
+
+    Storage is a ring buffer over a growable array.  An {e unbounded}
+    trace ([capacity = 0], the default) retains every entry; a {e bounded}
+    trace overwrites the oldest entry once full, so long realtime runs can
+    record in constant memory.  Entries are appended in non-decreasing
+    time order, which makes windowed queries [O(log n + window)].
+
+    Message entries ([Send]/[Deliver]/[Drop]) carry a causal message
+    [id]: the id minted at [Send] is threaded through to the matching
+    [Deliver] or [Drop], so a delivery can always be traced back to its
+    origin.  Entries with [id = no_origin] were injected without a
+    recorded send (e.g. adversarial injections).
+
+    Traces export to JSONL ({!to_jsonl}) — one flat JSON object per line
+    — and re-import losslessly with {!of_jsonl}. *)
+
+(** Typed semantic payload attached to message entries.  [kind] is the
+    wire-level message kind (["1a"], ["2b"], ["estimate"], ...); the
+    optional fields carry whichever protocol coordinates apply (DGL
+    ballots and sessions, round-based rounds, decided/proposed values).
+    [detail] is a free-form suffix for anything not covered. *)
+type payload = {
+  kind : string;
+  session : int option;
+  ballot : int option;
+  phase : int option;
+  round : int option;
+  value : int option;
+  detail : string;
+}
+
+(** [payload ?session ?ballot ?phase ?round ?value ?detail kind] builds a
+    payload; omitted fields are [None] / [""]. *)
+val payload :
+  ?session:int ->
+  ?ballot:int ->
+  ?phase:int ->
+  ?round:int ->
+  ?value:int ->
+  ?detail:string ->
+  string ->
+  payload
+
+(** [info kind] is [payload kind]: a bare payload with only a kind, for
+    protocols with no semantic coordinates (e.g. heartbeats). *)
+val info : string -> payload
+
+val pp_payload : Format.formatter -> payload -> unit
 
 type entry =
-  | Send of { t : Sim_time.t; src : int; dst : int; info : string }
-  | Deliver of { t : Sim_time.t; src : int; dst : int; info : string }
-  | Drop of { t : Sim_time.t; src : int; dst : int; info : string }
+  | Send of { t : Sim_time.t; id : int; src : int; dst : int; payload : payload }
+  | Deliver of
+      { t : Sim_time.t; id : int; src : int; dst : int; payload : payload }
+  | Drop of { t : Sim_time.t; id : int; src : int; dst : int; payload : payload }
   | Timer_set of { t : Sim_time.t; proc : int; tag : int; fire_at : Sim_time.t }
   | Timer_fire of { t : Sim_time.t; proc : int; tag : int }
   | Crash of { t : Sim_time.t; proc : int }
@@ -15,28 +63,73 @@ type entry =
   | Decide of { t : Sim_time.t; proc : int; value : int }
   | Note of { t : Sim_time.t; proc : int; text : string }
 
+(** Message id for entries whose originating [Send] was never recorded. *)
+val no_origin : int
+
 type t
 
-val create : enabled:bool -> t
+(** [create ?capacity ~enabled] makes a trace.  [capacity = 0] (default)
+    retains every entry; [capacity > 0] bounds retained entries,
+    overwriting the oldest once full.  Raises [Invalid_argument] on a
+    negative capacity. *)
+val create : ?capacity:int -> enabled:bool -> unit -> t
 
 val enabled : t -> bool
 
 val record : t -> entry -> unit
 
-(** Entries in chronological (recording) order. *)
+(** Retained entries, oldest first. *)
 val entries : t -> entry list
 
+(** [get t i] is the [i]-th oldest retained entry (0-based).  Raises
+    [Invalid_argument] out of bounds. *)
+val get : t -> int -> entry
+
+(** Retained entry count. *)
 val length : t -> int
+
+(** Entries ever recorded, including any overwritten in bounded mode. *)
+val total_recorded : t -> int
+
+(** [total_recorded t - length t]: entries lost to bounded-mode wrap. *)
+val dropped_oldest : t -> int
+
+(** The bound, or [None] for an unbounded trace. *)
+val capacity : t -> int option
+
+(** Iterate retained entries oldest-first without materialising a list. *)
+val iter : (entry -> unit) -> t -> unit
+
+val fold : ('a -> entry -> 'a) -> 'a -> t -> 'a
+
+(** [fold_window f acc t ~lo ~hi] folds over retained entries with
+    [lo <= time_of e <= hi], oldest first.  [O(log n + window)]. *)
+val fold_window :
+  ('a -> entry -> 'a) -> 'a -> t -> lo:Sim_time.t -> hi:Sim_time.t -> 'a
 
 val time_of : entry -> Sim_time.t
 
 (** [sends_in_window t ~lo ~hi] counts [Send] entries with
-    [lo <= t <= hi]. *)
+    [lo <= t <= hi].  [O(log n + window)]. *)
 val sends_in_window : t -> lo:Sim_time.t -> hi:Sim_time.t -> int
 
-(** Decide entries as [(proc, time, value)] triples, chronological. *)
+(** Decide entries as [(proc, time, value)] triples, chronological.
+    Single pass over the retained entries. *)
 val decisions : t -> (int * Sim_time.t * int) list
 
 val pp_entry : Format.formatter -> entry -> unit
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 JSONL export / import} *)
+
+(** One flat JSON object per entry, newline-terminated lines, oldest
+    first.  Floats are printed with enough digits to round-trip. *)
+val to_jsonl : t -> string
+
+(** A single entry as a JSON object (no trailing newline). *)
+val entry_to_json : entry -> string
+
+(** Parse JSONL produced by {!to_jsonl} (blank lines ignored) into a
+    fresh unbounded trace.  [Error msg] names the offending line. *)
+val of_jsonl : string -> (t, string) result

@@ -550,5 +550,5 @@ let protocol ?(progress_gate = true) cfg ~workloads =
             let st = maybe_start_phase1 ctx st in
             Engine.persist ctx st;
             st);
-    msg_info = Smr_messages.info;
+    msg_payload = Smr_messages.payload ~n:cfg.Dgl.Config.n;
   }

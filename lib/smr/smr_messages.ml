@@ -33,3 +33,25 @@ let info = function
   | Chosen_digest { upto } -> Printf.sprintf "digest(upto %d)" upto
   | Chosen { instance; cmd } ->
       Printf.sprintf "chosen(i%d,%s)" instance (Command.info cmd)
+
+let payload ~n = function
+  | M1a { mbal } ->
+      Sim.Trace.payload ~ballot:mbal ~session:(Ballot.session ~n mbal)
+        ~phase:1 "1a"
+  | M1b { mbal; votes; chosen_upto } ->
+      Sim.Trace.payload ~ballot:mbal ~session:(Ballot.session ~n mbal)
+        ~phase:1
+        ~detail:(Printf.sprintf "%d votes,upto %d" (List.length votes)
+                   chosen_upto)
+        "1b"
+  | M2a { mbal; instance; cmd } ->
+      Sim.Trace.payload ~ballot:mbal ~session:(Ballot.session ~n mbal)
+        ~phase:2 ~round:instance ~detail:(Command.info cmd) "2a"
+  | M2b { mbal; instance; cmd } ->
+      Sim.Trace.payload ~ballot:mbal ~session:(Ballot.session ~n mbal)
+        ~phase:2 ~round:instance ~detail:(Command.info cmd) "2b"
+  | Forward { cmd } -> Sim.Trace.payload ~detail:(Command.info cmd) "forward"
+  | Chosen_digest { upto } ->
+      Sim.Trace.payload ~detail:(Printf.sprintf "upto %d" upto) "digest"
+  | Chosen { instance; cmd } ->
+      Sim.Trace.payload ~round:instance ~detail:(Command.info cmd) "chosen"

@@ -30,6 +30,13 @@ type t =
   | Chosen of { instance : int; cmd : Command.t }
       (** catch-up: this instance's chosen command *)
 
+(** Ballot carried by the message ([None] for ballot-free messages). *)
 val mbal : t -> Ballot.t option
 
+(** One-line human-readable description. *)
 val info : t -> string
+
+(** Structured trace payload.  The log instance of a phase-2 message is
+    carried in the [round] field; [session] is the global session of the
+    message's ballot. *)
+val payload : n:int -> t -> Sim.Trace.payload

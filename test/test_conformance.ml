@@ -33,6 +33,7 @@ let erase (r : _ Sim.Engine.run_result) : unit Sim.Engine.run_result =
     end_time = r.end_time;
     events_processed = r.events_processed;
     trace = r.trace;
+    metrics = r.metrics;
     agreement_violation = r.agreement_violation;
     final_states = Array.map (Option.map ignore) r.final_states;
   }

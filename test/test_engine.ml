@@ -23,7 +23,7 @@ let ping_protocol =
         st + 1);
     on_timer = (fun _ st ~tag:_ -> st);
     on_restart = (fun _ ~persisted -> match persisted with Some s -> s | None -> 0);
-    msg_info = (function Ping -> "ping" | Pong -> "pong");
+    msg_payload = (function Ping -> Sim.Trace.info "ping" | Pong -> Sim.Trace.info "pong");
   }
 
 let base_scenario ?(n = 3) ?(seed = 1L) ?faults ?horizon ?network
@@ -67,7 +67,7 @@ let test_broadcast_reaches_all_including_self () =
           st);
       on_timer = (fun _ st ~tag:_ -> st);
       on_restart = (fun _ ~persisted:_ -> 0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   ignore (E.run (base_scenario ~n:4 ()) proto);
@@ -89,7 +89,7 @@ let test_timer_fires_once_with_local_delay () =
           E.decide ctx 0;
           st);
       on_restart = (fun _ ~persisted:_ -> 0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   ignore (E.run (base_scenario ~n:2 ()) proto);
@@ -119,7 +119,7 @@ let test_timer_respects_clock_rate () =
           E.decide ctx 0;
           st);
       on_restart = (fun _ ~persisted:_ -> 0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   let sc =
@@ -147,7 +147,7 @@ let test_crash_cancels_timers_and_drops_messages () =
           incr fired;
           st);
       on_restart = (fun _ ~persisted:_ -> 0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   (* p1 crashes almost immediately: before the ping arrives and before
@@ -177,7 +177,7 @@ let test_restart_gets_persisted_state () =
           observed := persisted;
           E.decide ctx 0;
           0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   let faults = Sim.Fault.crash_then_restart ~crash_at:0.1 ~restart_at:0.2 0 in
@@ -213,7 +213,7 @@ let test_injection_delivered_at_time () =
           st);
       on_timer = (fun _ st ~tag:_ -> st);
       on_restart = (fun _ ~persisted:_ -> 0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   ignore
@@ -239,7 +239,7 @@ let test_horizon_stops_run () =
           E.set_timer ctx ~local_delay:0.1 ~tag:0;
           st + 1);
       on_restart = (fun _ ~persisted:_ -> 0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   let r =
@@ -260,7 +260,7 @@ let test_agreement_violation_flagged () =
       on_message = (fun _ st ~src:_ _ -> st);
       on_timer = (fun _ st ~tag:_ -> st);
       on_restart = (fun _ ~persisted:_ -> 0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   let r = E.run (base_scenario ~n:2 ()) proto in
@@ -283,7 +283,7 @@ let test_decide_idempotent () =
       on_message = (fun _ st ~src:_ _ -> st);
       on_timer = (fun _ st ~tag:_ -> st);
       on_restart = (fun _ ~persisted:_ -> 0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   let r = E.run (base_scenario ~n:1 ()) proto in
@@ -315,7 +315,7 @@ let test_proposals_and_ctx_accessors () =
       on_message = (fun _ st ~src:_ _ -> st);
       on_timer = (fun _ st ~tag:_ -> st);
       on_restart = (fun _ ~persisted:_ -> 0);
-      msg_info = (fun _ -> "m");
+      msg_payload = (fun _ -> Sim.Trace.info "m");
     }
   in
   let sc =

@@ -1,0 +1,262 @@
+(* The trace-driven invariant checker: clean traces pass, corrupted
+   traces are flagged, and every experiment scenario's replay satisfies
+   all invariants. *)
+
+let mk entries =
+  let tr = Sim.Trace.create ~enabled:true () in
+  List.iter (Sim.Trace.record tr) entries;
+  tr
+
+let has_violation ~check report =
+  List.exists
+    (fun v -> v.Harness.Invariants.check = check)
+    report.Harness.Invariants.violations
+
+let send ~t ~id ~src ~dst kind =
+  Sim.Trace.Send { t; id; src; dst; payload = Sim.Trace.info kind }
+
+let deliver ~t ~id ~src ~dst kind =
+  Sim.Trace.Deliver { t; id; src; dst; payload = Sim.Trace.info kind }
+
+let clean_trace () =
+  mk
+    [
+      send ~t:0.1 ~id:0 ~src:0 ~dst:1 "1a";
+      Sim.Trace.Note { t = 0.15; proc = 0; text = "session:1:timer" };
+      deliver ~t:0.2 ~id:0 ~src:0 ~dst:1 "1a";
+      Sim.Trace.Timer_set { t = 0.2; proc = 1; tag = 1; fire_at = 0.5 };
+      Sim.Trace.Note { t = 0.25; proc = 0; text = "session:2:message" };
+      Sim.Trace.Timer_fire { t = 0.5; proc = 1; tag = 1 };
+      Sim.Trace.Decide { t = 0.6; proc = 0; value = 7 };
+      Sim.Trace.Decide { t = 0.7; proc = 1; value = 7 };
+    ]
+
+let test_clean_trace_passes () =
+  let report =
+    Harness.Invariants.check ~proposals:[| 7; 8 |] (clean_trace ())
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "clean: %a" Harness.Invariants.pp report)
+    true
+    (Harness.Invariants.ok report);
+  Alcotest.(check int) "all entries examined" 8
+    report.Harness.Invariants.entries_checked;
+  Alcotest.(check bool) "not wrapped" false report.Harness.Invariants.wrapped
+
+let test_agreement_violation () =
+  let tr =
+    mk
+      [
+        Sim.Trace.Decide { t = 0.6; proc = 0; value = 7 };
+        Sim.Trace.Decide { t = 0.7; proc = 1; value = 8 };
+      ]
+  in
+  let report = Harness.Invariants.check tr in
+  Alcotest.(check bool) "flagged" false (Harness.Invariants.ok report);
+  Alcotest.(check bool) "named agreement" true
+    (has_violation ~check:"agreement" report)
+
+let test_decide_once_violation () =
+  let tr =
+    mk
+      [
+        Sim.Trace.Decide { t = 0.6; proc = 0; value = 7 };
+        Sim.Trace.Decide { t = 0.7; proc = 0; value = 7 };
+      ]
+  in
+  Alcotest.(check bool) "double decide flagged" true
+    (has_violation ~check:"decide-once" (Harness.Invariants.check tr))
+
+let test_validity_violation () =
+  let tr = mk [ Sim.Trace.Decide { t = 0.6; proc = 0; value = 99 } ] in
+  Alcotest.(check bool) "unproposed value flagged" true
+    (has_violation ~check:"validity"
+       (Harness.Invariants.check ~proposals:[| 7; 8 |] tr));
+  (* without proposals the same trace is fine *)
+  Alcotest.(check bool) "no proposals, no validity check" true
+    (Harness.Invariants.ok (Harness.Invariants.check tr))
+
+let test_causality_violations () =
+  (* a delivery whose send was never recorded *)
+  let orphan = mk [ deliver ~t:0.2 ~id:5 ~src:0 ~dst:1 "1a" ] in
+  Alcotest.(check bool) "orphan deliver flagged" true
+    (has_violation ~check:"causality" (Harness.Invariants.check orphan));
+  (* endpoints must match the minting send *)
+  let mismatched =
+    mk
+      [
+        send ~t:0.1 ~id:5 ~src:0 ~dst:1 "1a";
+        deliver ~t:0.2 ~id:5 ~src:0 ~dst:2 "1a";
+      ]
+  in
+  Alcotest.(check bool) "endpoint mismatch flagged" true
+    (has_violation ~check:"causality" (Harness.Invariants.check mismatched));
+  (* injected messages (no_origin) are exempt *)
+  let injected =
+    mk [ deliver ~t:0.2 ~id:Sim.Trace.no_origin ~src:0 ~dst:1 "1a" ]
+  in
+  Alcotest.(check bool) "injection exempt" true
+    (Harness.Invariants.ok (Harness.Invariants.check injected))
+
+let test_session_monotonicity_violation () =
+  let tr =
+    mk
+      [
+        Sim.Trace.Note { t = 0.1; proc = 0; text = "session:3:timer" };
+        Sim.Trace.Note { t = 0.2; proc = 0; text = "session:2:message" };
+      ]
+  in
+  Alcotest.(check bool) "regressing session flagged" true
+    (has_violation ~check:"session-monotonic"
+       (Harness.Invariants.check tr))
+
+let test_timer_violations () =
+  let spurious = mk [ Sim.Trace.Timer_fire { t = 0.5; proc = 0; tag = 1 } ] in
+  Alcotest.(check bool) "fire without set flagged" false
+    (Harness.Invariants.ok (Harness.Invariants.check spurious));
+  let past =
+    mk [ Sim.Trace.Timer_set { t = 0.5; proc = 0; tag = 1; fire_at = 0.2 } ]
+  in
+  Alcotest.(check bool) "fire-in-past flagged" false
+    (Harness.Invariants.ok (Harness.Invariants.check past))
+
+let test_sigma_bound () =
+  let delta = 0.01 in
+  let sigma = 22. *. delta in
+  let session_timer dur =
+    mk [ Sim.Trace.Timer_set { t = 1.0; proc = 0; tag = 2; fire_at = 1.0 +. dur } ]
+  in
+  let check dur =
+    Harness.Invariants.check ~timer_bounds:(delta, sigma) (session_timer dur)
+  in
+  Alcotest.(check bool) "duration inside [4 delta, sigma] ok" true
+    (Harness.Invariants.ok (check (10. *. delta)));
+  Alcotest.(check bool) "too short flagged" true
+    (has_violation ~check:"sigma-timer" (check (2. *. delta)));
+  Alcotest.(check bool) "too long flagged" true
+    (has_violation ~check:"sigma-timer" (check (40. *. delta)));
+  (* the resend timer (tag -1) is not a session timer *)
+  let resend =
+    mk [ Sim.Trace.Timer_set { t = 1.0; proc = 0; tag = -1; fire_at = 1.0 +. delta } ]
+  in
+  Alcotest.(check bool) "resend timer exempt" true
+    (Harness.Invariants.ok
+       (Harness.Invariants.check ~timer_bounds:(delta, sigma) resend))
+
+let test_wrapped_trace_skips_causality () =
+  (* once a bounded ring overwrites the minting sends, deliveries must
+     not be reported as orphans *)
+  let tr = Sim.Trace.create ~capacity:4 ~enabled:true () in
+  for i = 0 to 9 do
+    Sim.Trace.record tr
+      (send ~t:(0.1 *. float_of_int i) ~id:i ~src:0 ~dst:1 "1a")
+  done;
+  for i = 0 to 9 do
+    Sim.Trace.record tr
+      (deliver ~t:(1.0 +. (0.1 *. float_of_int i)) ~id:i ~src:0 ~dst:1 "1a")
+  done;
+  let report = Harness.Invariants.check tr in
+  Alcotest.(check bool) "wrapped" true report.Harness.Invariants.wrapped;
+  Alcotest.(check bool)
+    (Format.asprintf "no spurious violations: %a" Harness.Invariants.pp
+       report)
+    true
+    (Harness.Invariants.ok report)
+
+(* --- corrupted trace via the JSONL path (the ISSUE fixture) --------- *)
+
+(* Replay a scenario, export its trace to JSONL, tamper with one decided
+   value in the serialized form, re-import — the checker must flag the
+   agreement violation the corruption introduced. *)
+let test_corrupted_jsonl_flagged () =
+  let rp =
+    match Harness.Experiments.replay "e7" with
+    | Some rp -> rp
+    | None -> Alcotest.fail "replay e7 unavailable"
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "pristine replay is clean: %a" Harness.Invariants.pp
+       rp.Harness.Experiments.invariants)
+    true
+    (Harness.Invariants.ok rp.Harness.Experiments.invariants);
+  let jsonl = Sim.Trace.to_jsonl rp.Harness.Experiments.trace in
+  (* corrupt the last decide line: swap its value for one nobody proposed *)
+  let lines = String.split_on_char '\n' jsonl in
+  let is_decide l =
+    (* substring search for the event tag *)
+    let tag = "\"ev\":\"decide\"" in
+    let nl = String.length l and nt = String.length tag in
+    let rec scan i = i + nt <= nl && (String.sub l i nt = tag || scan (i + 1)) in
+    scan 0
+  in
+  let n_decides = List.length (List.filter is_decide lines) in
+  Alcotest.(check bool) "fixture has decisions" true (n_decides > 0);
+  let seen = ref 0 in
+  let corrupted =
+    List.map
+      (fun l ->
+        if is_decide l then (
+          incr seen;
+          if !seen = n_decides then
+            (* rewrite the value field; the decide object ends "value":V} *)
+            match String.rindex_opt l ':' with
+            | Some i -> String.sub l 0 (i + 1) ^ "424242}"
+            | None -> l
+          else l)
+        else l)
+      lines
+    |> String.concat "\n"
+  in
+  match Sim.Trace.of_jsonl corrupted with
+  | Error msg -> Alcotest.fail ("corrupted JSONL should still parse: " ^ msg)
+  | Ok tr ->
+      let report =
+        Harness.Invariants.check
+          ?proposals:rp.Harness.Experiments.proposals
+          ?timer_bounds:rp.Harness.Experiments.timer_bounds tr
+      in
+      Alcotest.(check bool) "corruption detected" false
+        (Harness.Invariants.ok report);
+      Alcotest.(check bool) "named agreement" true
+        (has_violation ~check:"agreement" report);
+      Alcotest.(check bool) "named validity" true
+        (has_violation ~check:"validity" report)
+
+(* --- every experiment scenario replays cleanly ---------------------- *)
+
+let test_all_replays_pass () =
+  List.iter
+    (fun id ->
+      match Harness.Experiments.replay id with
+      | None -> Alcotest.fail (id ^ ": no replay defined")
+      | Some rp ->
+          Alcotest.(check bool)
+            (Format.asprintf "%s: %a" id Harness.Invariants.pp
+               rp.Harness.Experiments.invariants)
+            true
+            (Harness.Invariants.ok rp.Harness.Experiments.invariants);
+          Alcotest.(check bool)
+            (id ^ ": trace non-empty")
+            true
+            (Sim.Trace.length rp.Harness.Experiments.trace > 0))
+    Harness.Experiments.ids
+
+let suite =
+  [
+    Alcotest.test_case "clean trace passes" `Quick test_clean_trace_passes;
+    Alcotest.test_case "agreement violation" `Quick test_agreement_violation;
+    Alcotest.test_case "decide-once violation" `Quick
+      test_decide_once_violation;
+    Alcotest.test_case "validity violation" `Quick test_validity_violation;
+    Alcotest.test_case "causality violations" `Quick test_causality_violations;
+    Alcotest.test_case "session monotonicity" `Quick
+      test_session_monotonicity_violation;
+    Alcotest.test_case "timer sanity" `Quick test_timer_violations;
+    Alcotest.test_case "sigma timer bound" `Quick test_sigma_bound;
+    Alcotest.test_case "wrapped ring skips causality" `Quick
+      test_wrapped_trace_skips_causality;
+    Alcotest.test_case "corrupted JSONL is flagged" `Quick
+      test_corrupted_jsonl_flagged;
+    Alcotest.test_case "all 15 experiment replays pass" `Slow
+      test_all_replays_pass;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("model-check-bc", Test_bc_model.suite);
       ("realtime", Test_realtime.suite);
       ("harness", Test_harness.suite);
+      ("invariants", Test_invariants.suite);
     ]

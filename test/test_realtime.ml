@@ -3,8 +3,17 @@
    these tests check safety exactly and liveness with generous margins. *)
 
 let cfg ?(n = 3) ?(delta = 0.02) ?(ts = 0.15) ?(duration = 3.0)
-    ?(pre_loss = 1.0) ?(seed = 7L) ?(faults = []) () =
-  { Realtime.Threads_engine.n; delta; ts; duration; pre_loss; seed; faults }
+    ?(pre_loss = 1.0) ?(seed = 7L) ?(faults = []) ?(record_trace = true) () =
+  {
+    Realtime.Threads_engine.n;
+    delta;
+    ts;
+    duration;
+    pre_loss;
+    seed;
+    faults;
+    record_trace;
+  }
 
 let proposals n = Array.init n (fun i -> 100 + i)
 
@@ -47,7 +56,18 @@ let test_modified_paxos_realtime () =
           Alcotest.(check bool) "decided after ts" true
             (t >= c.Realtime.Threads_engine.ts)
       | None -> ())
-    r.decisions
+    r.decisions;
+  (* the wall-clock trace satisfies the same trace invariants the
+     simulator's traces do (no timer bounds: real scheduling jitters) *)
+  let report = Harness.Invariants.check ~proposals:props r.trace in
+  Alcotest.(check bool)
+    (Format.asprintf "realtime trace invariants: %a" Harness.Invariants.pp
+       report)
+    true
+    (Harness.Invariants.ok report);
+  Alcotest.(check bool) "trace non-empty" true (Sim.Trace.length r.trace > 0);
+  Alcotest.(check int) "metrics runs counter" 1
+    (Sim.Registry.counter_total r.metrics "runs")
 
 let test_b_consensus_realtime () =
   let c = cfg ~delta:0.02 () in

@@ -1,13 +1,17 @@
-let send t = Sim.Trace.Send { t; src = 0; dst = 1; info = "x" }
+(* Trace v2: ring-buffer storage, typed payloads, message ids, windowed
+   queries and the JSONL round-trip. *)
+
+let send ?(id = 0) ?(kind = "x") t =
+  Sim.Trace.Send { t; id; src = 0; dst = 1; payload = Sim.Trace.info kind }
 
 let test_disabled_noop () =
-  let tr = Sim.Trace.create ~enabled:false in
+  let tr = Sim.Trace.create ~enabled:false () in
   Sim.Trace.record tr (send 1.0);
   Alcotest.(check int) "nothing recorded" 0 (Sim.Trace.length tr);
   Alcotest.(check bool) "enabled reports false" false (Sim.Trace.enabled tr)
 
 let test_order_preserved () =
-  let tr = Sim.Trace.create ~enabled:true in
+  let tr = Sim.Trace.create ~enabled:true () in
   Sim.Trace.record tr (send 1.0);
   Sim.Trace.record tr (send 2.0);
   Sim.Trace.record tr (send 3.0);
@@ -17,16 +21,16 @@ let test_order_preserved () =
   Alcotest.(check int) "length" 3 (Sim.Trace.length tr)
 
 let test_sends_in_window () =
-  let tr = Sim.Trace.create ~enabled:true in
+  let tr = Sim.Trace.create ~enabled:true () in
   List.iter (fun t -> Sim.Trace.record tr (send t)) [ 0.5; 1.0; 1.5; 2.0 ];
-  Sim.Trace.record tr (Sim.Trace.Decide { t = 1.2; proc = 0; value = 7 });
+  Sim.Trace.record tr (Sim.Trace.Decide { t = 2.5; proc = 0; value = 7 });
   Alcotest.(check int) "window [1,2]" 3
     (Sim.Trace.sends_in_window tr ~lo:1.0 ~hi:2.0);
   Alcotest.(check int) "empty window" 0
     (Sim.Trace.sends_in_window tr ~lo:5.0 ~hi:6.0)
 
 let test_decisions () =
-  let tr = Sim.Trace.create ~enabled:true in
+  let tr = Sim.Trace.create ~enabled:true () in
   Sim.Trace.record tr (Sim.Trace.Decide { t = 1.0; proc = 2; value = 9 });
   Sim.Trace.record tr (send 1.5);
   Sim.Trace.record tr (Sim.Trace.Decide { t = 2.0; proc = 0; value = 9 });
@@ -35,26 +39,175 @@ let test_decisions () =
     [ (2, 1.0, 9); (0, 2.0, 9) ]
     (Sim.Trace.decisions tr)
 
+let all_constructors =
+  [
+    Sim.Trace.Send
+      {
+        t = 1.;
+        id = 3;
+        src = 0;
+        dst = 1;
+        payload =
+          Sim.Trace.payload ~session:2 ~ballot:11 ~phase:1 ~detail:"v" "1a";
+      };
+    Sim.Trace.Deliver
+      { t = 1.; id = 3; src = 0; dst = 1; payload = Sim.Trace.info "1a" };
+    Sim.Trace.Drop
+      {
+        t = 1.;
+        id = Sim.Trace.no_origin;
+        src = 0;
+        dst = 1;
+        payload = Sim.Trace.payload ~round:4 ~value:10 "est";
+      };
+    Sim.Trace.Timer_set { t = 1.; proc = 0; tag = 3; fire_at = 2. };
+    Sim.Trace.Timer_fire { t = 2.; proc = 0; tag = 3 };
+    Sim.Trace.Crash { t = 1.; proc = 0 };
+    Sim.Trace.Restart { t = 2.; proc = 0 };
+    Sim.Trace.Decide { t = 3.; proc = 0; value = 1 };
+    Sim.Trace.Note { t = 3.; proc = 0; text = "hello: \"quoted\"\nline" };
+  ]
+
 let test_pp_entries () =
   (* Every constructor renders without raising. *)
-  let entries =
-    [
-      Sim.Trace.Send { t = 1.; src = 0; dst = 1; info = "m" };
-      Sim.Trace.Deliver { t = 1.; src = 0; dst = 1; info = "m" };
-      Sim.Trace.Drop { t = 1.; src = 0; dst = 1; info = "m" };
-      Sim.Trace.Timer_set { t = 1.; proc = 0; tag = 3; fire_at = 2. };
-      Sim.Trace.Timer_fire { t = 2.; proc = 0; tag = 3 };
-      Sim.Trace.Crash { t = 1.; proc = 0 };
-      Sim.Trace.Restart { t = 2.; proc = 0 };
-      Sim.Trace.Decide { t = 3.; proc = 0; value = 1 };
-      Sim.Trace.Note { t = 3.; proc = 0; text = "hello" };
-    ]
-  in
   List.iter
     (fun e ->
       let s = Format.asprintf "%a" Sim.Trace.pp_entry e in
       Alcotest.(check bool) "non-empty rendering" true (String.length s > 0))
-    entries
+    all_constructors
+
+(* --- ring buffer semantics ------------------------------------------ *)
+
+let test_bounded_wrap () =
+  let tr = Sim.Trace.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 10 do
+    Sim.Trace.record tr (send (float_of_int i))
+  done;
+  Alcotest.(check int) "retains capacity" 4 (Sim.Trace.length tr);
+  Alcotest.(check int) "counts everything" 10 (Sim.Trace.total_recorded tr);
+  Alcotest.(check int) "dropped oldest" 6 (Sim.Trace.dropped_oldest tr);
+  Alcotest.(check (option int)) "capacity" (Some 4) (Sim.Trace.capacity tr);
+  Alcotest.(check (list (float 0.)))
+    "keeps the newest, oldest first" [ 7.; 8.; 9.; 10. ]
+    (List.map Sim.Trace.time_of (Sim.Trace.entries tr));
+  (* windowed queries still work over the retained suffix *)
+  Alcotest.(check int) "window over retained" 2
+    (Sim.Trace.sends_in_window tr ~lo:8.0 ~hi:9.0)
+
+let test_bounded_exact_fill () =
+  let tr = Sim.Trace.create ~capacity:3 ~enabled:true () in
+  for i = 1 to 3 do
+    Sim.Trace.record tr (send (float_of_int i))
+  done;
+  Alcotest.(check int) "full but unwrapped" 3 (Sim.Trace.length tr);
+  Alcotest.(check int) "nothing dropped" 0 (Sim.Trace.dropped_oldest tr);
+  Alcotest.(check (float 0.)) "get 0" 1. (Sim.Trace.time_of (Sim.Trace.get tr 0));
+  Alcotest.(check (float 0.)) "get 2" 3. (Sim.Trace.time_of (Sim.Trace.get tr 2))
+
+let test_unbounded_growth () =
+  let tr = Sim.Trace.create ~enabled:true () in
+  for i = 1 to 1000 do
+    Sim.Trace.record tr (send (float_of_int i))
+  done;
+  Alcotest.(check int) "all retained" 1000 (Sim.Trace.length tr);
+  Alcotest.(check (option int)) "unbounded" None (Sim.Trace.capacity tr);
+  Alcotest.(check int) "fold sees all" 1000
+    (Sim.Trace.fold (fun acc _ -> acc + 1) 0 tr)
+
+let test_create_validation () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Trace.create: negative capacity") (fun () ->
+      ignore (Sim.Trace.create ~capacity:(-1) ~enabled:true ()))
+
+(* --- JSONL round-trip ----------------------------------------------- *)
+
+let entry_eq (a : Sim.Trace.entry) (b : Sim.Trace.entry) = a = b
+
+let test_jsonl_round_trip_all_constructors () =
+  let tr = Sim.Trace.create ~enabled:true () in
+  List.iter (Sim.Trace.record tr) all_constructors;
+  let s = Sim.Trace.to_jsonl tr in
+  match Sim.Trace.of_jsonl s with
+  | Error msg -> Alcotest.fail msg
+  | Ok tr' ->
+      Alcotest.(check int) "same length" (Sim.Trace.length tr)
+        (Sim.Trace.length tr');
+      List.iter2
+        (fun a b ->
+          Alcotest.(check bool)
+            (Format.asprintf "identical: %a" Sim.Trace.pp_entry a)
+            true (entry_eq a b))
+        (Sim.Trace.entries tr) (Sim.Trace.entries tr')
+
+let test_jsonl_rejects_garbage () =
+  (match Sim.Trace.of_jsonl "{\"ev\":\"nope\",\"t\":1}\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown event accepted");
+  (match Sim.Trace.of_jsonl "not json at all\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  match Sim.Trace.of_jsonl "" with
+  | Ok tr -> Alcotest.(check int) "empty input, empty trace" 0 (Sim.Trace.length tr)
+  | Error msg -> Alcotest.fail msg
+
+(* Property: arbitrary traces survive the JSONL round-trip exactly,
+   including awkward floats and control characters in strings. *)
+let arbitrary_entry =
+  let open QCheck in
+  let time = Gen.map Float.abs Gen.float in
+  let small = Gen.int_range 0 64 in
+  let str =
+    Gen.oneof
+      [
+        Gen.small_string ~gen:Gen.printable;
+        Gen.small_string ~gen:(Gen.char_range '\000' '\255');
+        Gen.return "session:3:start";
+      ]
+  in
+  let payload =
+    Gen.map2
+      (fun (kind, detail) (session, ballot) ->
+        Sim.Trace.payload ?session ?ballot ~detail kind)
+      (Gen.pair str str)
+      (Gen.pair (Gen.opt small) (Gen.opt small))
+  in
+  let gen =
+    Gen.oneof
+      [
+        Gen.map2
+          (fun (t, id) ((src, dst), payload) ->
+            Sim.Trace.Send { t; id; src; dst; payload })
+          (Gen.pair time (Gen.int_range (-1) 1000))
+          (Gen.pair (Gen.pair small small) payload);
+        Gen.map2
+          (fun (t, id) ((src, dst), payload) ->
+            Sim.Trace.Deliver { t; id; src; dst; payload })
+          (Gen.pair time (Gen.int_range (-1) 1000))
+          (Gen.pair (Gen.pair small small) payload);
+        Gen.map2
+          (fun (t, proc) (tag, dt) ->
+            Sim.Trace.Timer_set { t; proc; tag; fire_at = t +. dt })
+          (Gen.pair time small)
+          (Gen.pair (Gen.int_range (-1) 9) time);
+        Gen.map2
+          (fun t (proc, value) -> Sim.Trace.Decide { t; proc; value })
+          time (Gen.pair small Gen.int);
+        Gen.map2
+          (fun t (proc, text) -> Sim.Trace.Note { t; proc; text })
+          time (Gen.pair small str);
+      ]
+  in
+  make ~print:(Format.asprintf "%a" Sim.Trace.pp_entry) gen
+
+let prop_jsonl_round_trip =
+  QCheck.Test.make ~count:500 ~name:"JSONL round-trip is lossless"
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 40) arbitrary_entry)
+    (fun entries ->
+      let tr = Sim.Trace.create ~enabled:true () in
+      List.iter (Sim.Trace.record tr) entries;
+      match Sim.Trace.of_jsonl (Sim.Trace.to_jsonl tr) with
+      | Error msg -> QCheck.Test.fail_report msg
+      | Ok tr' -> Sim.Trace.entries tr = Sim.Trace.entries tr')
 
 let suite =
   [
@@ -63,4 +216,13 @@ let suite =
     Alcotest.test_case "sends in window" `Quick test_sends_in_window;
     Alcotest.test_case "decisions extracted" `Quick test_decisions;
     Alcotest.test_case "pp renders all constructors" `Quick test_pp_entries;
+    Alcotest.test_case "bounded ring wraps" `Quick test_bounded_wrap;
+    Alcotest.test_case "bounded ring exact fill" `Quick test_bounded_exact_fill;
+    Alcotest.test_case "unbounded growth" `Quick test_unbounded_growth;
+    Alcotest.test_case "create validates capacity" `Quick
+      test_create_validation;
+    Alcotest.test_case "JSONL round-trip, all constructors" `Quick
+      test_jsonl_round_trip_all_constructors;
+    Alcotest.test_case "JSONL rejects garbage" `Quick test_jsonl_rejects_garbage;
+    QCheck_alcotest.to_alcotest prop_jsonl_round_trip;
   ]
