@@ -238,7 +238,10 @@ let a4_once () =
 (* --- substrate micro-benches ---------------------------------------- *)
 
 let heap_churn () =
-  let cmp (a : float * int) b = compare a b in
+  let cmp (a1, i1) (a2, i2) =
+    let c = Float.compare a1 a2 in
+    if c <> 0 then c else Int.compare i1 i2
+  in
   let h = ref (Sim.Pairing_heap.empty ~cmp) in
   for i = 0 to 999 do
     h := Sim.Pairing_heap.insert !h (float_of_int ((i * 7919) mod 997), i)
@@ -252,7 +255,10 @@ let heap_churn () =
 (* Same churn workload on the mutable binary heap that replaced the
    pairing heap in the engine hot path. *)
 let event_queue_churn () =
-  let cmp (a : float * int) b = compare a b in
+  let cmp (a1, i1) (a2, i2) =
+    let c = Float.compare a1 a2 in
+    if c <> 0 then c else Int.compare i1 i2
+  in
   let q = Sim.Event_queue.create ~cmp () in
   for i = 0 to 999 do
     Sim.Event_queue.add q (float_of_int ((i * 7919) mod 997), i)
@@ -318,8 +324,7 @@ let run_micro () =
   in
   let raw = Benchmark.all cfg [ instance ] tests in
   let results = Analyze.all ols instance raw in
-  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
-  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let rows = Sim.Sorted_tbl.bindings ~compare:String.compare results in
   Printf.printf "--- micro-benchmarks (monotonic clock, OLS ns/run) ---\n";
   let rows =
     List.map
@@ -367,7 +372,7 @@ let json_float f =
 let json_opt_float = function Some f -> json_float f | None -> "null"
 
 let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
-    ~invariants_ok =
+    ~invariants_ok ~lint =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -382,6 +387,13 @@ let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
     | _ -> "null");
   p "  },\n";
   p "  \"trace_invariants_ok\": %b,\n" invariants_ok;
+  (match lint with
+  | Some (lint_ok, findings) ->
+      p "  \"lint_ok\": %b,\n" lint_ok;
+      p "  \"lint_findings\": %d,\n" findings
+  | None ->
+      p "  \"lint_ok\": null,\n";
+      p "  \"lint_findings\": null,\n");
   p "  \"metrics\": %s,\n" (Sim.Registry.to_json metrics);
   p "  \"micro_ns_per_run\": [";
   List.iteri
@@ -465,7 +477,28 @@ let () =
   Format.printf "trace invariants: %s on %d replayed scenarios@."
     (if invariants_ok then "OK" else "FAILED")
     (List.length Harness.Experiments.ids);
+  (* Static-analysis verdict alongside the dynamic one: the same pass
+     `consensus_sim lint` runs, against the checked-in baseline.  [None]
+     when the sources are not on disk (e.g. an installed binary). *)
+  let lint =
+    match Lint.Driver.find_root () with
+    | None -> None
+    | Some root ->
+        let baseline =
+          match Lint.Baseline.load (Filename.concat root "lint.baseline") with
+          | Ok b -> b
+          | Error _ -> Lint.Baseline.empty
+        in
+        let r = Lint.Driver.run ~root ~baseline () in
+        Some (Lint.Driver.ok r, List.length r.findings)
+  in
+  (match lint with
+  | Some (lint_ok, findings) ->
+      Format.printf "lint: %s (%d findings)@."
+        (if lint_ok then "OK" else "FAILED")
+        findings
+  | None -> Format.printf "lint: skipped (no source tree)@.");
   let path = "BENCH_RESULTS.json" in
   write_results ~path ~speed:speed_name ~domains ~wall ~serial_wall ~micro
-    ~metrics ~invariants_ok;
+    ~metrics ~invariants_ok ~lint;
   Format.printf "(wrote %s)@." path

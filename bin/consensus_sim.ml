@@ -7,7 +7,12 @@
      consensus-sim experiment all --full
      consensus-sim trace e1 --timeline --export e1.jsonl
      consensus-sim trace --import e1.jsonl
-     consensus-sim list *)
+     consensus-sim lint            # determinism/hygiene pass over the tree
+     consensus-sim lint --list-rules
+     consensus-sim list
+
+   Exit codes: 0 success; 1 domain failure (lint findings, trace-invariant
+   violation); 123..125 are cmdliner's usage/internal errors. *)
 
 open Cmdliner
 
@@ -427,6 +432,8 @@ let sweep_cmd =
 (* ------------------------------------------------------------------ *)
 
 let check_impl model gate max_session depth max_states =
+  (* lint: allow R1 — elapsed-time display for the operator, not part
+     of any simulated run *)
   let t0 = Unix.gettimeofday () in
   match model with
   | "paxos" ->
@@ -449,6 +456,7 @@ let check_impl model gate max_session depth max_states =
         (if gate then "on" else "off")
         depth;
       Format.printf "%a (%.1fs)@." Mcheck.Explorer.pp_outcome o
+        (* lint: allow R1 — elapsed-time display for the operator *)
         (Unix.gettimeofday () -. t0)
   | "b-consensus" ->
       let cfg =
@@ -487,6 +495,7 @@ let check_impl model gate max_session depth max_states =
             (if o.Mcheck.Explore.complete then "exhaustive"
              else "bounded (cap hit)")
             o.Mcheck.Explore.states o.transitions);
+      (* lint: allow R1 — elapsed-time display for the operator *)
       Format.printf "(%.1fs)@." (Unix.gettimeofday () -. t0)
   | m -> failwith (Printf.sprintf "unknown model %S (paxos, b-consensus)" m)
 
@@ -823,10 +832,135 @@ let trace_cmd =
        ~doc:
          "Replay an experiment scenario with structured tracing (or import \
           a JSONL trace), inspect it, and check trace invariants.  Exits \
-          non-zero if any invariant fails.")
+          non-zero if any invariant fails."
+       ~exits:
+         (Cmd.Exit.info 1 ~doc:"on a trace-invariant violation."
+         :: Cmd.Exit.defaults))
     Term.(
       const trace_impl $ id_arg $ import_arg $ export_arg $ filter_arg
       $ timeline_arg $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lint: determinism & protocol-hygiene static analysis                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_impl paths root json baseline_path no_baseline list_rules
+    update_baseline =
+  if list_rules then
+    List.iter
+      (fun id ->
+        Format.printf "%s  %s@.    %s@."
+          (Lint.Rules.id_to_string id)
+          (Lint.Rules.title id) (Lint.Rules.rationale id))
+      Lint.Rules.all_ids
+  else begin
+    let root =
+      match root with
+      | Some r -> r
+      | None -> (
+          match Lint.Driver.find_root () with Some r -> r | None -> ".")
+    in
+    let baseline_file =
+      match baseline_path with
+      | Some p -> p
+      | None -> Filename.concat root "lint.baseline"
+    in
+    let baseline =
+      if no_baseline || update_baseline then Lint.Baseline.empty
+      else
+        match Lint.Baseline.load baseline_file with
+        | Ok b -> b
+        | Error msg -> failwith (Printf.sprintf "%s: %s" baseline_file msg)
+    in
+    let paths =
+      match paths with [] -> Lint.Driver.default_paths | ps -> ps
+    in
+    let report = Lint.Driver.run ~root ~baseline ~paths () in
+    if update_baseline then begin
+      let entries = Lint.Baseline.of_findings report.Lint.Driver.findings in
+      let oc = open_out_bin baseline_file in
+      output_string oc
+        "# Grandfathered lint findings: RULE<TAB>FILE<TAB>CONTEXT<TAB>REASON.\n\
+         # Prefer fixing or a sited (* lint: allow Rn — reason *) comment;\n\
+         # entries here should be rare and justified.\n";
+      if entries <> [] then output_string oc (Lint.Baseline.to_string entries);
+      close_out oc;
+      Format.printf "wrote %d entr%s to %s@." (List.length entries)
+        (if List.length entries = 1 then "y" else "ies")
+        baseline_file
+    end
+    else begin
+      if json then print_string (Lint.Driver.report_to_json report ^ "\n")
+      else Lint.Driver.pp_report Format.std_formatter report;
+      if not (Lint.Driver.ok report) then exit 1
+    end
+  end
+
+let lint_cmd =
+  let paths_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:
+            "Files or directories to lint, relative to the project root \
+             (default: lib bin bench).")
+  in
+  let root_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "root" ] ~docv:"DIR"
+          ~doc:
+            "Project root (default: nearest ancestor with a dune-project).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable report on stdout.")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Baseline file (default: ROOT/lint.baseline).")
+  in
+  let no_baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "no-baseline" ]
+          ~doc:"Ignore the baseline: report grandfathered findings too.")
+  in
+  let list_rules_arg =
+    Arg.(
+      value & flag
+      & info [ "list-rules" ] ~doc:"Print the rule catalogue and exit.")
+  in
+  let update_baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "update-baseline" ]
+          ~doc:
+            "Rewrite the baseline file to cover the current findings \
+             instead of reporting them.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static determinism & protocol-hygiene analysis of the OCaml \
+          sources (rules R1-R8: wall clocks, ambient Random, Hashtbl \
+          iteration order, toplevel mutable state, physical equality, \
+          polymorphic compare, wildcard message arms, partial functions \
+          on handler paths).  Suppress per site with \
+          (* lint: allow Rn - reason *)."
+       ~exits:
+         (Cmd.Exit.info 1
+            ~doc:
+              "on unsuppressed findings or unparsable/unreadable sources."
+         :: Cmd.Exit.defaults))
+    Term.(
+      const lint_impl $ paths_arg $ root_arg $ json_arg $ baseline_arg
+      $ no_baseline_arg $ list_rules_arg $ update_baseline_arg)
 
 (* ------------------------------------------------------------------ *)
 (* realtime                                                            *)
@@ -927,6 +1061,7 @@ let main =
       run_cmd;
       experiment_cmd;
       trace_cmd;
+      lint_cmd;
       sweep_cmd;
       check_cmd;
       realtime_cmd;

@@ -124,7 +124,8 @@ let handle_ack ctx st ~src r value =
 let on_message_impl ctx st ~src msg =
   match msg with
   | Rotating_messages.Decision { value } -> record_decision ctx st value
-  | _ -> (
+  | Rotating_messages.Estimate _ | Rotating_messages.Propose _
+  | Rotating_messages.Ack _ -> (
       match Rotating_messages.round_of msg with
       | None -> st
       | Some r ->
@@ -142,7 +143,9 @@ let on_message_impl ctx st ~src msg =
             match msg with
             | Rotating_messages.Ack { round; value } ->
                 handle_ack ctx st ~src round value
-            | _ -> st
+            | Rotating_messages.Estimate _ | Rotating_messages.Propose _
+            | Rotating_messages.Decision _ ->
+                st
           else begin
             (* Jump to a higher round on receipt of one of its messages
                (allowed: only *spontaneous* advancement is gated). *)

@@ -761,7 +761,7 @@ let e10 ?(speed = Quick) () =
         | _ -> ())
       (Sim.Trace.entries r.Sim.Engine.trace);
     let lats =
-      Hashtbl.fold
+      Sim.Sorted_tbl.fold ~compare:Int.compare
         (fun id t0 acc ->
           match Hashtbl.find_opt chosens id with
           | Some t1 -> (t1 -. t0) /. delta :: acc

@@ -48,6 +48,8 @@ let over_seeds ~seeds ~base f =
 (* Parallel sweeps                                                     *)
 (* ------------------------------------------------------------------ *)
 
+(* lint: allow R4 — test-only override, written solely from the
+   coordinating domain via [with_domains]; workers never read it *)
 let forced_domains = ref None
 
 let domain_count () =
@@ -63,6 +65,8 @@ let domain_count () =
 
 (* One pool, created on first use and re-created if the requested size
    changes (tests flip sizes via [with_domains]). *)
+(* lint: allow R4 — process-wide pool cache by design: created and
+   swapped only on the coordinating domain, never from workers *)
 let pool = ref None
 
 let get_pool () =

@@ -1,0 +1,378 @@
+(* The Parsetree pass: one Ast_iterator walk per file, all eight rules.
+
+   Everything here is syntactic — no typing, no cmt files — so each
+   rule is a conservative pattern over names and shapes, scoped by the
+   file's path (a wall-clock read is fine in lib/realtime, Hashtbl
+   iteration is fine inside Sorted_tbl, ...).  False positives are the
+   price of a zero-dependency pass; the suppression comment exists to
+   pay it explicitly, with a reason, at the site. *)
+
+open Parsetree
+
+type scope = {
+  file : string;  (* repo-relative, '/'-separated *)
+  allow_wall_clock : bool;  (* R1 off: the wall-clock engine itself *)
+  allow_random : bool;  (* R2 off: the seeded PRNG implementation *)
+  allow_tbl_iter : bool;  (* R3 off: the sorted-snapshot helper *)
+  module_state_scope : bool;  (* R4 on: library code Domain_pool can reach *)
+  protocol_scope : bool;  (* R7/R8 on: protocol step/handle code *)
+}
+
+let starts_with prefix s = String.starts_with ~prefix s
+
+let scope_of_path path =
+  (* windows-proof normalization; the tree itself always uses '/' *)
+  let file = String.map (fun c -> if c = '\\' then '/' else c) path in
+  let contains_fixtures =
+    (* the linter's own test corpus runs with every rule armed *)
+    let needle = "lint_fixtures" in
+    let n = String.length needle and l = String.length file in
+    let rec go i =
+      i + n <= l && (String.sub file i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  if contains_fixtures then
+    {
+      file;
+      allow_wall_clock = false;
+      allow_random = false;
+      allow_tbl_iter = false;
+      module_state_scope = true;
+      protocol_scope = true;
+    }
+  else
+    {
+      file;
+      allow_wall_clock = starts_with "lib/realtime/" file;
+      allow_random =
+        file = "lib/sim/prng.ml" || file = "lib/sim/prng.mli";
+      allow_tbl_iter =
+        file = "lib/sim/sorted_tbl.ml" || file = "lib/sim/sorted_tbl.mli";
+      module_state_scope = starts_with "lib/" file;
+      protocol_scope =
+        List.exists
+          (fun p -> starts_with p file)
+          [ "lib/dgl/"; "lib/bconsensus/"; "lib/baselines/"; "lib/smr/" ];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Name helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let path_of_lid lid = String.concat "." (Longident.flatten lid)
+
+let head_of_lid lid =
+  match Longident.flatten lid with [] -> "" | h :: _ -> h
+
+let wall_clock_fns = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let tbl_iter_fns =
+  [
+    "Hashtbl.iter";
+    "Hashtbl.fold";
+    "Hashtbl.to_seq";
+    "Hashtbl.to_seq_keys";
+    "Hashtbl.to_seq_values";
+  ]
+
+let partial_fns = [ "List.hd"; "List.tl"; "Option.get"; "failwith" ]
+
+(* Allocators whose module-level evaluation creates shared mutable
+   state.  [ref] is the headline; the rest are the stdlib's other
+   mutable containers. *)
+let mutable_allocators =
+  [
+    "ref";
+    "Hashtbl.create";
+    "Queue.create";
+    "Stack.create";
+    "Buffer.create";
+    "Bytes.create";
+    "Bytes.make";
+    "Array.make";
+    "Array.create_float";
+    "Array.init";
+    "Atomic.make";
+    "Weak.create";
+  ]
+
+let is_handler_name name =
+  starts_with "handle_" name
+  || starts_with "on_message" name
+  || name = "step"
+  || starts_with "step_" name
+
+(* ------------------------------------------------------------------ *)
+(* Shape helpers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Values ==/!= is legitimate on: immediates known from the literal. *)
+let is_immediate_literal e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_char _) -> true
+  | Pexp_construct ({ txt = Longident.Lident ("true" | "false" | "()"); _ }, None)
+    ->
+      true
+  | _ -> false
+
+let is_float_literal e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+(* The eagerly-evaluated spine of a module-level binding: stops at
+   anything that defers evaluation (fun, function, lazy).  Returns the
+   first mutable-allocator application found. *)
+let rec eager_mutable_alloc e =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+    when List.mem (path_of_lid txt) mutable_allocators ->
+      Some (path_of_lid txt)
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) | Pexp_open (_, e) ->
+      eager_mutable_alloc e
+  | Pexp_let (_, vbs, body) ->
+      let from_vbs =
+        List.find_map (fun vb -> eager_mutable_alloc vb.pvb_expr) vbs
+      in
+      (match from_vbs with Some _ as r -> r | None -> eager_mutable_alloc body)
+  | Pexp_sequence (a, b) -> (
+      match eager_mutable_alloc a with
+      | Some _ as r -> r
+      | None -> eager_mutable_alloc b)
+  | Pexp_ifthenelse (_, t, eo) -> (
+      match eager_mutable_alloc t with
+      | Some _ as r -> r
+      | None -> Option.bind eo eager_mutable_alloc)
+  | Pexp_tuple es -> List.find_map eager_mutable_alloc es
+  | Pexp_record (fields, base) -> (
+      match List.find_map (fun (_, e) -> eager_mutable_alloc e) fields with
+      | Some _ as r -> r
+      | None -> Option.bind base eager_mutable_alloc)
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      List.find_map (fun c -> eager_mutable_alloc c.pc_rhs) cases
+  | _ -> None
+
+(* R7: does any arm of this match name a protocol-message constructor?
+   Message constructors in this tree are always qualified through a
+   module called [Messages] or [Xxx_messages]. *)
+let rec pattern_mentions_message_ctor p =
+  let lid_is_messages lid =
+    List.exists
+      (fun comp ->
+        comp = "Messages"
+        || (String.length comp > 9
+            && String.lowercase_ascii
+                 (String.sub comp (String.length comp - 9) 9)
+               = "_messages"))
+      (Longident.flatten lid)
+  in
+  match p.ppat_desc with
+  | Ppat_construct ({ txt; _ }, arg) ->
+      lid_is_messages txt
+      || Option.fold ~none:false
+           ~some:(fun (_, p) -> pattern_mentions_message_ctor p)
+           arg
+  | Ppat_or (a, b) ->
+      pattern_mentions_message_ctor a || pattern_mentions_message_ctor b
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_open (_, p) ->
+      pattern_mentions_message_ctor p
+  | Ppat_tuple ps -> List.exists pattern_mentions_message_ctor ps
+  | _ -> false
+
+(* a top-level wildcard arm: `_`, possibly parenthesized/aliased *)
+let rec is_wildcard_pattern p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> is_wildcard_pattern p
+  | Ppat_or (a, b) -> is_wildcard_pattern a || is_wildcard_pattern b
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The walk                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let scan ~scope (structure : Parsetree.structure) : Rules.finding list =
+  let findings = ref [] in
+  let report ~rule ~loc ~context ~message =
+    let pos = loc.Location.loc_start in
+    findings :=
+      Rules.finding ~rule ~file:scope.file ~line:pos.Lexing.pos_lnum
+        ~col:(pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+        ~context ~message
+      :: !findings
+  in
+  (* module-level vs inside-an-expression: R4 only fires at module level *)
+  let expr_depth = ref 0 in
+  (* inside a step/handle binding: R7/R8 scope *)
+  let handler_depth = ref 0 in
+
+  let check_ident txt loc =
+    let path = path_of_lid txt in
+    if List.mem path wall_clock_fns && not scope.allow_wall_clock then
+      report ~rule:Rules.R1 ~loc ~context:path
+        ~message:
+          (Printf.sprintf
+             "%s reads the wall clock; simulated code must use Sim_time \
+              (only lib/realtime may)"
+             path);
+    if head_of_lid txt = "Random" && not scope.allow_random then
+      report ~rule:Rules.R2 ~loc ~context:path
+        ~message:
+          (Printf.sprintf
+             "%s draws from the ambient generator; use the run's seeded \
+              Sim.Prng stream"
+             path);
+    if List.mem path tbl_iter_fns && not scope.allow_tbl_iter then
+      report ~rule:Rules.R3 ~loc ~context:path
+        ~message:
+          (Printf.sprintf
+             "%s enumerates in hash-bucket order; take a sorted snapshot \
+              (Sim.Sorted_tbl) instead"
+             path);
+    (match txt with
+    | Longident.Lident (("==" | "!=") as op) ->
+        report ~rule:Rules.R5 ~loc ~context:op
+          ~message:
+            (Printf.sprintf
+               "(%s) is physical equality; use (%s) or a domain compare"
+               op
+               (if op = "==" then "=" else "<>"))
+    | _ -> ());
+    (match path with
+    | "compare" | "Stdlib.compare" | "Pervasives.compare" ->
+        report ~rule:Rules.R6 ~loc ~context:"compare"
+          ~message:
+            "bare polymorphic compare; use a monomorphic compare \
+             (Int.compare, Float.compare, String.compare, ...)"
+    | _ -> ());
+    if
+      scope.protocol_scope && !handler_depth > 0
+      && List.mem path partial_fns
+    then
+      report ~rule:Rules.R8 ~loc ~context:path
+        ~message:
+          (Printf.sprintf
+             "%s can raise on a step/handle path; protocol handlers must \
+              tolerate every interleaving"
+             path)
+  in
+
+  let check_match_cases loc cases =
+    if
+      scope.protocol_scope && !handler_depth > 0
+      && List.exists
+           (fun c -> pattern_mentions_message_ctor c.pc_lhs)
+           cases
+    then
+      List.iter
+        (fun c ->
+          if is_wildcard_pattern c.pc_lhs then
+            report ~rule:Rules.R7 ~loc:c.pc_lhs.ppat_loc ~context:"_"
+              ~message:
+                "wildcard arm in a protocol message match; enumerate the \
+                 constructors so new messages fail to compile here")
+        cases;
+    ignore loc
+  in
+
+  let default = Ast_iterator.default_iterator in
+  let iter =
+    {
+      default with
+      expr =
+        (fun it e ->
+          incr expr_depth;
+          Fun.protect
+            ~finally:(fun () -> decr expr_depth)
+            (fun () ->
+              match e.pexp_desc with
+              | Pexp_apply
+                  ( ({ pexp_desc = Pexp_ident { txt = Longident.Lident (("==" | "!=") as op); _ }; _ }
+                     as fn),
+                    args ) ->
+                  (* applied physical equality: allowed when a literal
+                     operand proves the comparison is on immediates *)
+                  if not (List.exists (fun (_, a) -> is_immediate_literal a) args)
+                  then
+                    report ~rule:Rules.R5 ~loc:fn.pexp_loc ~context:op
+                      ~message:
+                        (Printf.sprintf
+                           "(%s) is physical equality; use (%s) or a domain \
+                            compare"
+                           op
+                           (if op = "==" then "=" else "<>"));
+                  (* iterate the arguments only: visiting [fn] again
+                     would double-report via the bare-ident case *)
+                  List.iter (fun (_, a) -> it.Ast_iterator.expr it a) args
+              | _ ->
+                  (match e.pexp_desc with
+                  | Pexp_ident { txt; loc } -> check_ident txt loc
+                  | Pexp_apply
+                      ( { pexp_desc = Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); _ }; _ },
+                        args )
+                    when List.exists (fun (_, a) -> is_float_literal a) args ->
+                      report ~rule:Rules.R6 ~loc:e.pexp_loc
+                        ~context:("float" ^ op)
+                        ~message:
+                          (Printf.sprintf
+                             "(%s) against a float literal; use \
+                              Float.compare or an epsilon test"
+                             op)
+                  | Pexp_assert
+                      {
+                        pexp_desc =
+                          Pexp_construct
+                            ({ txt = Longident.Lident "false"; _ }, None);
+                        _;
+                      }
+                    when scope.protocol_scope && !handler_depth > 0 ->
+                      report ~rule:Rules.R8 ~loc:e.pexp_loc
+                        ~context:"assert false"
+                        ~message:
+                          "assert false on a step/handle path; protocol \
+                           handlers must tolerate every interleaving"
+                  | Pexp_match (_, cases) -> check_match_cases e.pexp_loc cases
+                  | Pexp_function cases -> check_match_cases e.pexp_loc cases
+                  | _ -> ());
+                  default.Ast_iterator.expr it e))
+      ;
+      value_binding =
+        (fun it vb ->
+          let handler =
+            match vb.pvb_pat.ppat_desc with
+            | Ppat_var { txt; _ } -> is_handler_name txt
+            | _ -> false
+          in
+          if handler then begin
+            incr handler_depth;
+            Fun.protect
+              ~finally:(fun () -> decr handler_depth)
+              (fun () -> default.Ast_iterator.value_binding it vb)
+          end
+          else default.Ast_iterator.value_binding it vb);
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_value (_, vbs)
+            when !expr_depth = 0 && scope.module_state_scope ->
+              List.iter
+                (fun vb ->
+                  match eager_mutable_alloc vb.pvb_expr with
+                  | Some alloc ->
+                      report ~rule:Rules.R4 ~loc:vb.pvb_pat.ppat_loc
+                        ~context:alloc
+                        ~message:
+                          (Printf.sprintf
+                             "module-level %s is state shared across \
+                              Domain_pool workers; keep it in the per-run \
+                              record"
+                             alloc)
+                  | None -> ())
+                vbs
+          | _ -> ());
+          default.Ast_iterator.structure_item it si);
+    }
+  in
+  iter.Ast_iterator.structure iter structure;
+  List.sort Rules.compare_findings !findings

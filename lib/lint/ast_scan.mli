@@ -1,0 +1,22 @@
+(** The compiler-libs Parsetree pass: all eight rules in one walk.
+
+    Purely syntactic — no typing — so each rule is a conservative
+    pattern over names and shapes, scoped by the file's path. *)
+
+type scope = {
+  file : string;  (** repo-relative, '/'-separated *)
+  allow_wall_clock : bool;  (** R1 off (lib/realtime) *)
+  allow_random : bool;  (** R2 off (lib/sim/prng.ml) *)
+  allow_tbl_iter : bool;  (** R3 off (lib/sim/sorted_tbl.ml) *)
+  module_state_scope : bool;  (** R4 on (library code) *)
+  protocol_scope : bool;  (** R7/R8 on (protocol libraries) *)
+}
+
+val scope_of_path : string -> scope
+(** Derive the rule scoping from a repo-relative path.  Paths
+    containing [lint_fixtures] get every rule armed — that is the
+    linter's own test corpus. *)
+
+val scan : scope:scope -> Parsetree.structure -> Rules.finding list
+(** All findings in one file, sorted by {!Rules.compare_findings};
+    suppression and baseline filtering happen in {!Driver}. *)

@@ -1,0 +1,200 @@
+(* Orchestration: walk the tree, parse every .ml/.mli, run the pass,
+   apply suppressions and the baseline, render human or JSON output.
+
+   Determinism note (the linter lints itself): directory entries are
+   sorted before walking and findings are sorted before reporting, so
+   two runs over the same tree are byte-identical. *)
+
+type report = {
+  findings : Rules.finding list;  (* unsuppressed, unbaselined, sorted *)
+  suppressed : int;  (* silenced by (* lint: allow ... *) comments *)
+  baselined : int;  (* silenced by lint.baseline entries *)
+  files_scanned : int;
+  errors : (string * string) list;  (* path, message: unreadable/unparsable *)
+  unused_baseline : Baseline.entry list;
+}
+
+let ok r = r.findings = [] && r.errors = []
+
+(* ------------------------------------------------------------------ *)
+(* Parsing one file                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let parse_error_message path = function
+  | Syntaxerr.Error _ -> Printf.sprintf "%s: syntax error" path
+  | exn -> Printf.sprintf "%s: %s" path (Printexc.to_string exn)
+
+(* [rel] is the repo-relative path used for scoping and reporting;
+   [source] is the file contents. *)
+let lint_source ~rel ~source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf rel;
+  if Filename.check_suffix rel ".mli" then
+    (* interfaces carry no expressions; parse only to catch rot *)
+    match Parse.interface lexbuf with
+    | _ -> Ok ([], 0)
+    | exception exn -> Error (parse_error_message rel exn)
+  else
+    match Parse.implementation lexbuf with
+    | structure ->
+        let scope = Ast_scan.scope_of_path rel in
+        let raw = Ast_scan.scan ~scope structure in
+        let allows = Suppress.scan source in
+        let kept, dropped =
+          List.partition (fun f -> not (Suppress.suppressed allows f)) raw
+        in
+        Ok (kept, List.length dropped)
+    | exception exn -> Error (parse_error_message rel exn)
+
+(* ------------------------------------------------------------------ *)
+(* Walking                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let is_source name =
+  Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+(* (absolute-or-cwd-relative path on disk, repo-relative path) pairs,
+   lexicographically sorted for deterministic reports. *)
+let rec collect acc ~disk ~rel =
+  if Sys.is_directory disk then
+    Sys.readdir disk |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if name = "_build" || (name <> "" && name.[0] = '.') then acc
+           else
+             collect acc
+               ~disk:(Filename.concat disk name)
+               ~rel:(if rel = "" then name else rel ^ "/" ^ name))
+         acc
+  else if is_source disk then (disk, rel) :: acc
+  else acc
+
+let find_root () =
+  let rec go dir =
+    if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else go parent
+  in
+  go (Sys.getcwd ())
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let default_paths = [ "lib"; "bin"; "bench" ]
+
+(* [paths] are repo-relative; [root] is the directory they resolve
+   against. *)
+let run ?(root = ".") ?(baseline = Baseline.empty) ?(paths = default_paths) ()
+    =
+  let files, missing =
+    List.fold_left
+      (fun (files, missing) p ->
+        let disk = if root = "." then p else Filename.concat root p in
+        if Sys.file_exists disk then
+          (collect files ~disk ~rel:(String.map (fun c -> if c = '\\' then '/' else c) p), missing)
+        else (files, (p, "no such file or directory") :: missing))
+      ([], []) paths
+  in
+  let files = List.sort (fun (_, a) (_, b) -> String.compare a b) files in
+  let findings = ref [] and suppressed = ref 0 and errors = ref missing in
+  List.iter
+    (fun (disk, rel) ->
+      match lint_source ~rel ~source:(read_file disk) with
+      | Ok (fs, dropped) ->
+          findings := List.rev_append fs !findings;
+          suppressed := !suppressed + dropped
+      | Error msg -> errors := (rel, msg) :: !errors
+      | exception Sys_error msg -> errors := (rel, msg) :: !errors)
+    files;
+  let all = List.sort Rules.compare_findings !findings in
+  let kept, baselined =
+    List.partition (fun f -> not (Baseline.covers baseline f)) all
+  in
+  {
+    findings = kept;
+    suppressed = !suppressed;
+    baselined = List.length baselined;
+    files_scanned = List.length files;
+    errors = List.rev !errors;
+    unused_baseline = Baseline.unused baseline all;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_report fmt r =
+  List.iter (fun f -> Format.fprintf fmt "%a@." Rules.pp_finding f) r.findings;
+  List.iter
+    (fun (path, msg) -> Format.fprintf fmt "%s: ERROR: %s@." path msg)
+    r.errors;
+  List.iter
+    (fun (e : Baseline.entry) ->
+      Format.fprintf fmt
+        "lint.baseline: unused entry %s %s %S — delete it@."
+        (Rules.id_to_string e.rule)
+        e.file e.context)
+    r.unused_baseline;
+  Format.fprintf fmt
+    "lint: %d file%s, %d finding%s (%d suppressed, %d baselined)%s@."
+    r.files_scanned
+    (if r.files_scanned = 1 then "" else "s")
+    (List.length r.findings)
+    (if List.length r.findings = 1 then "" else "s")
+    r.suppressed r.baselined
+    (if ok r then ": ok" else "")
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let report_to_json r =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\"ok\":";
+  Buffer.add_string buf (if ok r then "true" else "false");
+  Buffer.add_string buf
+    (Printf.sprintf ",\"files_scanned\":%d,\"suppressed\":%d,\"baselined\":%d"
+       r.files_scanned r.suppressed r.baselined);
+  Buffer.add_string buf ",\"findings\":[";
+  List.iteri
+    (fun i (f : Rules.finding) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"rule\":%s,\"file\":%s,\"line\":%d,\"col\":%d,\"context\":%s,\"message\":%s}"
+           (json_escape (Rules.id_to_string f.rule))
+           (json_escape f.file) f.line f.col (json_escape f.context)
+           (json_escape f.message)))
+    r.findings;
+  Buffer.add_string buf "],\"errors\":[";
+  List.iteri
+    (fun i (path, msg) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"file\":%s,\"message\":%s}" (json_escape path)
+           (json_escape msg)))
+    r.errors;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

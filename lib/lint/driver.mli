@@ -1,0 +1,45 @@
+(** Orchestration: walk, parse, scan, suppress, baseline, render.
+
+    Reports are deterministic: directory entries are sorted before
+    walking and findings before rendering, so two runs over the same
+    tree are byte-identical (the linter lints itself). *)
+
+type report = {
+  findings : Rules.finding list;
+      (** unsuppressed, unbaselined, sorted by file/line/col/rule *)
+  suppressed : int;
+  baselined : int;
+  files_scanned : int;
+  errors : (string * string) list;
+      (** (path, message) for unreadable or unparsable files; any entry
+          fails the run *)
+  unused_baseline : Baseline.entry list;
+}
+
+val ok : report -> bool
+(** No findings and no errors (unused baseline entries only warn). *)
+
+val lint_source : rel:string -> source:string -> (Rules.finding list * int, string) result
+(** Lint one file's contents.  [rel] is the repo-relative path used for
+    rule scoping and reporting.  Returns surviving findings plus the
+    count silenced by allow-comments; [Error] on parse failure.
+    Interfaces ([.mli]) are parsed for rot but yield no findings. *)
+
+val default_paths : string list
+(** [lib; bin; bench] — the scanned roots. *)
+
+val run :
+  ?root:string ->
+  ?baseline:Baseline.t ->
+  ?paths:string list ->
+  unit ->
+  report
+(** Lint [paths] (files or directories, repo-relative) resolved against
+    [root].  [_build] and dot-directories are skipped. *)
+
+val find_root : unit -> string option
+(** Nearest ancestor of the cwd containing a [dune-project]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_to_json : report -> string

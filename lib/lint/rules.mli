@@ -1,0 +1,47 @@
+(** Rule catalogue for the determinism & protocol-hygiene linter.
+
+    The eight rules, what each guards, and the [finding] record every
+    stage of the pass exchanges.  See DESIGN.md §5d for the narrative
+    version of the catalogue. *)
+
+type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+
+val all_ids : id list
+
+val id_to_string : id -> string
+
+val id_of_string : string -> id option
+(** Case-insensitive; [None] for anything that is not [R1]..[R8]. *)
+
+val title : id -> string
+(** One-line summary, used in human output and [--list-rules]. *)
+
+val rationale : id -> string
+(** Why the rule exists, in terms of the reproduction's guarantees. *)
+
+type finding = {
+  rule : id;
+  file : string;  (** repo-relative, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  context : string;
+      (** the offending token ("Unix.gettimeofday", "Hashtbl.fold",
+          "_", ...); baseline entries key on it so they survive
+          line-number churn *)
+  message : string;
+}
+
+val finding :
+  rule:id ->
+  file:string ->
+  line:int ->
+  col:int ->
+  context:string ->
+  message:string ->
+  finding
+
+val pp_finding : Format.formatter -> finding -> unit
+(** [file:line:col: [Rn] message (title)] — one line, greppable. *)
+
+val compare_findings : finding -> finding -> int
+(** Order by file, then line, column, rule id: the report order. *)

@@ -1,0 +1,110 @@
+(* Per-site suppressions: `(* lint: allow R3 — reason *)`.
+
+   An allow-comment suppresses findings of the listed rules on its own
+   line and on the line immediately below it, so both styles read
+   naturally:
+
+     let xs = Hashtbl.fold f tbl []  (* lint: allow R3 — sorted below *)
+
+     (* lint: allow R3 — merge is commutative, order cannot matter *)
+     Hashtbl.iter merge_one src
+
+   The scan is purely line-based (it does not track comment nesting):
+   the marker is unusual enough that a false positive would itself be a
+   comment talking about the linter, which is harmless. *)
+
+type allow = {
+  line : int;  (* 1-based line the marker appears on *)
+  until : int;  (* last line the allow covers (see [scan]) *)
+  rules : Rules.id list;  (* rules it suppresses *)
+  reason : string;  (* text after the rule list; may be empty *)
+}
+
+let marker = "lint: allow"
+
+(* Split on spaces/tabs, keeping it allocation-light is not a concern
+   here: lint runs once per file, not per event. *)
+let tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun t -> t <> "")
+
+let parse_after_marker rest =
+  let rec take_rules acc = function
+    | tok :: more -> (
+        match Rules.id_of_string tok with
+        | Some id -> take_rules (id :: acc) more
+        | None -> (List.rev acc, tok :: more))
+    | [] -> (List.rev acc, [])
+  in
+  let rules, rest = take_rules [] (tokens rest) in
+  let reason =
+    match rest with
+    | [] -> ""
+    | toks ->
+        (* drop a leading dash/em-dash separator before the reason *)
+        let toks =
+          match toks with
+          | ("-" | "--" | "\xe2\x80\x94" | "\xe2\x80\x93") :: t -> t
+          | t -> t
+        in
+        String.concat " " toks
+  in
+  (rules, reason)
+
+let find_marker line =
+  let mlen = String.length marker and llen = String.length line in
+  let rec go i =
+    if i + mlen > llen then None
+    else if String.sub line i mlen = marker then Some (i + mlen)
+    else go (i + 1)
+  in
+  go 0
+
+let contains_close line =
+  let rec go i =
+    i + 1 < String.length line
+    && ((line.[i] = '*' && line.[i + 1] = ')') || go (i + 1))
+  in
+  go 0
+
+let scan source =
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let allows = ref [] in
+  Array.iteri
+    (fun i line ->
+      match find_marker line with
+      | None -> ()
+      | Some stop ->
+          let lineno = i + 1 in
+          let rest = String.sub line stop (String.length line - stop) in
+          (* strip a trailing comment close if the whole directive is on
+             one line *)
+          let rest =
+            match String.index_opt rest '*' with
+            | Some j when j + 1 < String.length rest && rest.[j + 1] = ')' ->
+                String.sub rest 0 j
+            | _ -> rest
+          in
+          (* the allow covers its own line (trailing-comment style) and
+             the line after the comment closes (comment-above style,
+             including multi-line comments) *)
+          let close = ref i in
+          while
+            !close < Array.length lines - 1
+            && not (contains_close lines.(!close))
+          do
+            incr close
+          done;
+          let rules, reason = parse_after_marker rest in
+          if rules <> [] then
+            allows :=
+              { line = lineno; until = !close + 2; rules; reason } :: !allows)
+    lines;
+  List.rev !allows
+
+let covers allow (f : Rules.finding) =
+  f.line >= allow.line && f.line <= allow.until
+  && List.mem f.rule allow.rules
+
+let suppressed allows f = List.exists (fun a -> covers a f) allows

@@ -1,0 +1,24 @@
+(** Per-site suppression comments: [(* lint: allow R3 — reason *)].
+
+    An allow-comment suppresses the listed rules on its own line and on
+    the line immediately below it, supporting both the trailing-comment
+    and comment-above styles. *)
+
+type allow = {
+  line : int;  (** 1-based line the marker appears on *)
+  until : int;
+      (** last covered line: the line after the comment closes, so both
+          the trailing-comment and (multi-line) comment-above styles
+          reach the flagged site *)
+  rules : Rules.id list;
+  reason : string;  (** may be empty; style asks for one *)
+}
+
+val scan : string -> allow list
+(** All allow-comments in a source file, in line order.  Lines whose
+    [lint: allow] marker is followed by no recognizable rule id are
+    ignored. *)
+
+val covers : allow -> Rules.finding -> bool
+
+val suppressed : allow list -> Rules.finding -> bool

@@ -11,10 +11,34 @@ type proc = {
   decided : int;
 }
 
+(* Tag order, then fields left-to-right: identical to the polymorphic
+   order, but monomorphic, so a new constructor is a compile error here
+   rather than a silent reorder (lint R6). *)
+let compare_msg a b =
+  let tag = function First _ -> 0 | Report _ -> 1 | Lock _ -> 2 in
+  match (a, b) with
+  | ( First { src = s1; round = r1; value = v1 },
+      First { src = s2; round = r2; value = v2 } )
+  | ( Report { src = s1; round = r1; value = v1 },
+      Report { src = s2; round = r2; value = v2 } ) ->
+      let c = Int.compare s1 s2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare r1 r2 in
+        if c <> 0 then c else Int.compare v1 v2
+  | ( Lock { src = s1; round = r1; value = v1 },
+      Lock { src = s2; round = r2; value = v2 } ) ->
+      let c = Int.compare s1 s2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare r1 r2 in
+        if c <> 0 then c else Option.compare Int.compare v1 v2
+  | _ -> Int.compare (tag a) (tag b)
+
 module Msgset = Set.Make (struct
   type t = msg
 
-  let compare = compare
+  let compare = compare_msg
 end)
 
 type state = { procs : proc array; msgs : Msgset.t }
@@ -108,7 +132,7 @@ let locks cfg st =
                 Hashtbl.replace by_sender src value
             | _ -> ())
           st.msgs;
-        let senders = Hashtbl.fold (fun s v acc -> (s, v) :: acc) by_sender [] in
+        let senders = Sim.Sorted_tbl.bindings ~compare:Int.compare by_sender in
         List.filter_map
           (fun subset ->
             let lv =

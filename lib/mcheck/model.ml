@@ -6,10 +6,39 @@ type msg =
 
 type proc = { mbal : int; vbal : int; vval : int; decided : int }
 
+(* Same order as the polymorphic compare, made monomorphic (lint R6). *)
+let compare_msg a b =
+  let tag = function M1a _ -> 0 | M1b _ -> 1 | M2a _ -> 2 | M2b _ -> 3 in
+  match (a, b) with
+  | M1a { src = s1; bal = b1 }, M1a { src = s2; bal = b2 } ->
+      let c = Int.compare s1 s2 in
+      if c <> 0 then c else Int.compare b1 b2
+  | ( M1b { src = s1; bal = b1; vbal = vb1; vval = vv1 },
+      M1b { src = s2; bal = b2; vbal = vb2; vval = vv2 } ) ->
+      let c = Int.compare s1 s2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare b1 b2 in
+        if c <> 0 then c
+        else
+          let c = Int.compare vb1 vb2 in
+          if c <> 0 then c else Int.compare vv1 vv2
+  | M2a { bal = b1; value = v1 }, M2a { bal = b2; value = v2 } ->
+      let c = Int.compare b1 b2 in
+      if c <> 0 then c else Int.compare v1 v2
+  | ( M2b { src = s1; bal = b1; value = v1 },
+      M2b { src = s2; bal = b2; value = v2 } ) ->
+      let c = Int.compare s1 s2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare b1 b2 in
+        if c <> 0 then c else Int.compare v1 v2
+  | _ -> Int.compare (tag a) (tag b)
+
 module Msgset = Set.Make (struct
   type t = msg
 
-  let compare = compare
+  let compare = compare_msg
 end)
 
 type state = { procs : proc array; msgs : Msgset.t }
@@ -141,7 +170,7 @@ let phase2as cfg st =
                   ((vbal, vval) :: (try Hashtbl.find by_sender src with Not_found -> []))
             | _ -> ())
           st.msgs;
-        let senders = Hashtbl.fold (fun s _ acc -> s :: acc) by_sender [] in
+        let senders = Sim.Sorted_tbl.keys ~compare:Int.compare by_sender in
         let m = majority cfg.n in
         if List.length senders < m then []
         else begin
@@ -259,7 +288,7 @@ let obsolete_bound cfg st =
   let sessions =
     Array.to_list st.procs
     |> List.map (fun p -> session ~n:cfg.n p.mbal)
-    |> List.sort (fun a b -> compare b a)
+    |> List.sort (fun a b -> Int.compare b a)
   in
   let majority_session = List.nth sessions (majority cfg.n - 1) in
   let ok_bal b = session ~n:cfg.n b <= majority_session + 1 in

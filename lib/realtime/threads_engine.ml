@@ -112,7 +112,7 @@ let router sh () =
                              { t = now sh; proc = p.dst; tag })
                     | Ev_crash | Ev_restart -> ());
                     Condition.signal sh.conds.(p.dst))
-              (List.sort (fun a b -> compare a.at b.at) due);
+              (List.sort (fun a b -> Float.compare a.at b.at) due);
             true
           end)
     in

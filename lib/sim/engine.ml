@@ -54,7 +54,7 @@ type ('msg, 'state) t = {
    fire in the order they were scheduled, which makes runs deterministic. *)
 let event_cmp a b =
   let c = Sim_time.compare a.at b.at in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c else Int.compare a.seq b.seq
 
 let schedule eng ~at body =
   let ev = { at; seq = eng.next_seq; body } in

@@ -20,7 +20,7 @@ let crash_then_restart ~crash_at ~restart_at proc =
 let union a b =
   {
     initially_down =
-      List.sort_uniq compare (a.initially_down @ b.initially_down);
+      List.sort_uniq Int.compare (a.initially_down @ b.initially_down);
     events = a.events @ b.events;
   }
 

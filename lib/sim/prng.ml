@@ -30,7 +30,7 @@ let int t bound =
 
 let float t bound =
   if bound < 0. then invalid_arg "Prng.float: bound must be non-negative";
-  if bound = 0. then 0.
+  if Float.equal bound 0. then 0.
   else
     (* 53 high bits give a uniform dyadic rational in [0,1). *)
     let bits = Int64.shift_right_logical (next_int64 t) 11 in

@@ -124,7 +124,9 @@ let quantile t name q =
       Some (go 0 0)
 
 let merge_into ~dst src =
-  Hashtbl.iter
+  (* sorted order is not load-bearing here (integer adds commute), but
+     it keeps enumeration order out of observable behaviour entirely *)
+  Sorted_tbl.iter ~compare:String.compare
     (fun name (c : counter) ->
       let d = find_counter dst name in
       d.total <- d.total + c.total;
@@ -136,7 +138,7 @@ let merge_into ~dst src =
           end)
         c.per_proc)
     src.counters;
-  Hashtbl.iter
+  Sorted_tbl.iter ~compare:String.compare
     (fun name (h : histogram) ->
       let d = find_histogram dst ~buckets:h.buckets name in
       if Array.length d.counts <> Array.length h.counts then
@@ -154,12 +156,12 @@ let reset t =
   Hashtbl.reset t.histograms
 
 let counters t =
-  Hashtbl.fold (fun name c acc -> (name, c.total) :: acc) t.counters []
-  |> List.sort compare
+  Sorted_tbl.bindings ~compare:String.compare t.counters
+  |> List.map (fun (name, c) -> (name, c.total))
 
 let histograms t =
-  Hashtbl.fold (fun name h acc -> (name, h.n, h.sum) :: acc) t.histograms []
-  |> List.sort compare
+  Sorted_tbl.bindings ~compare:String.compare t.histograms
+  |> List.map (fun (name, h) -> (name, h.n, h.sum))
 
 (* ------------------------------------------------------------------ *)
 
@@ -190,10 +192,7 @@ let to_json t =
       Buffer.add_string buf (string_of_int total))
     (counters t);
   Buffer.add_string buf "},\"histograms\":{";
-  let hs =
-    Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
-    |> List.sort compare
-  in
+  let hs = Sorted_tbl.bindings ~compare:String.compare t.histograms in
   List.iteri
     (fun i (name, h) ->
       if i > 0 then Buffer.add_char buf ',';

@@ -6,7 +6,9 @@ module Iset = Set.Make (Int)
 module IBmap = Map.Make (struct
   type t = int * int (* instance, ballot *)
 
-  let compare = compare
+  let compare (i1, b1) (i2, b2) =
+    let c = Int.compare i1 i2 in
+    if c <> 0 then c else Int.compare b1 b2
 end)
 
 let resend_tag = -1
@@ -516,7 +518,7 @@ let protocol ?(progress_gate = true) cfg ~workloads =
     Array.to_list workloads
     |> List.concat_map (List.map (fun (_, c) -> c.Command.id))
   in
-  if List.length all_ids <> List.length (List.sort_uniq compare all_ids) then
+  if List.length all_ids <> List.length (List.sort_uniq Int.compare all_ids) then
     invalid_arg "Multi_paxos.protocol: duplicate command ids in workload";
   if List.exists (fun id -> id < 0) all_ids then
     invalid_arg "Multi_paxos.protocol: negative command id in workload";

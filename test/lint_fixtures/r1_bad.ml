@@ -1,0 +1,6 @@
+(* R1: wall-clock reads in simulation code break determinism. *)
+let stamp () = Unix.gettimeofday ()
+
+let coarse () = Unix.time ()
+
+let cpu () = Sys.time ()

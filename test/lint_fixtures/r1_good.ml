@@ -1,0 +1,4 @@
+(* R1 clean: time comes from the simulated clock, never the OS. *)
+let stamp ctx = Sim.Engine.now ctx
+
+let elapsed ~start ctx = Sim.Engine.now ctx -. start

@@ -1,0 +1,6 @@
+(* R2: ambient [Random] draws from process-global state. *)
+let jitter () = Random.float 0.01
+
+let pick xs = List.nth xs (Random.int (List.length xs))
+
+let flake () = Random.bool ()

@@ -1,0 +1,4 @@
+(* R2 clean: randomness is threaded through the seeded PRNG. *)
+let jitter rng = Sim.Prng.float rng 0.01
+
+let pick rng xs = List.nth xs (Sim.Prng.int rng (List.length xs))

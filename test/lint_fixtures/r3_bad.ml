@@ -1,0 +1,7 @@
+(* R3: Hashtbl traversal order is unspecified; results depend on
+   insertion history and hashing. *)
+let dump tbl = Hashtbl.iter (fun k v -> Printf.printf "%s=%d\n" k v) tbl
+
+let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0
+
+let stream tbl = Hashtbl.to_seq tbl

@@ -1,0 +1,10 @@
+(* R3 clean: snapshot through Sorted_tbl with an explicit key order. *)
+let dump tbl =
+  List.iter
+    (fun (k, v) -> Printf.printf "%s=%d\n" k v)
+    (Sim.Sorted_tbl.bindings ~compare:String.compare tbl)
+
+let total tbl =
+  Sim.Sorted_tbl.fold ~compare:String.compare
+    (fun _ v acc -> acc + v)
+    tbl 0

@@ -1,0 +1,11 @@
+(* R4: toplevel mutable state is shared by every domain that closes
+   over this module. *)
+let hits = ref 0
+
+let cache = Hashtbl.create 16
+
+let scratch = Buffer.create 256
+
+let inbox = Queue.create ()
+
+let cell = Atomic.make 0

@@ -1,0 +1,7 @@
+(* R4 clean: mutable state lives behind constructors the caller owns,
+   one instance per simulation. *)
+type t = { hits : int ref; cache : (string, int) Hashtbl.t }
+
+let create () = { hits = ref 0; cache = Hashtbl.create 16 }
+
+let bump t = incr t.hits

@@ -1,0 +1,7 @@
+(* R5: physical equality on boxed values compares addresses, not
+   contents; copies of equal messages diverge. *)
+let same_msg a b = a == b
+
+let distinct a b = a != b
+
+let memoized tbl k v = Hashtbl.find tbl k == v

@@ -1,0 +1,4 @@
+(* R5 clean: structural or monomorphic equality. *)
+let same_id (a : int) b = Int.equal a b
+
+let same_name a b = String.equal a b

@@ -1,0 +1,9 @@
+(* R6: polymorphic compare walks representation, not meaning — it
+   raises on closures, and float equality misses NaN. *)
+let cmp = compare
+
+let sort_msgs ms = List.sort Stdlib.compare ms
+
+let is_zero x = x = 0.0
+
+let not_half x = x <> 0.5

@@ -1,0 +1,8 @@
+(* R6 clean: monomorphic comparisons with explicit orderings. *)
+let cmp = Int.compare
+
+let sort_ids ids = List.sort Int.compare ids
+
+let is_zero x = Float.equal x 0.0
+
+let by_seq a b = Int.compare a.Types.seq b.Types.seq

@@ -1,0 +1,7 @@
+(* R7: a wildcard arm in a protocol-message match silently swallows
+   any constructor added later. *)
+let on_message st msg =
+  match msg with
+  | Dgl_messages.M1a { round } -> Some round
+  | Dgl_messages.M2a _ -> None
+  | _ -> None

@@ -1,0 +1,8 @@
+(* R7 clean: every constructor named; warning 8 (as an error under the
+   dev profile) then catches any constructor added later. *)
+let on_message _st msg =
+  match msg with
+  | Dgl_messages.M1a { round } -> Some round
+  | Dgl_messages.M1b _ -> None
+  | Dgl_messages.M2a _ -> None
+  | Dgl_messages.M2b _ -> None

@@ -1,0 +1,10 @@
+(* R8: partial functions in a handler turn a malformed message into a
+   process crash instead of a protocol-level no-op. *)
+let handle_report st reports =
+  let first = List.hd reports in
+  let v = Option.get st in
+  if first = v then st else failwith "conflicting report"
+
+let step st = function
+  | Some v -> v
+  | None -> assert false

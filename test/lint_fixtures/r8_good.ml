@@ -1,0 +1,8 @@
+(* R8 clean: handlers treat malformed input as a protocol no-op. *)
+let handle_report st reports =
+  match (reports, st) with
+  | first :: _, Some v when first = v -> st
+  | _ :: _, Some _ -> None
+  | [], _ | _, None -> st
+
+let step st = function Some v -> v | None -> st

@@ -1,0 +1,6 @@
+(* Allow-comments silence a finding at its site, in both styles. *)
+let total tbl =
+  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0 (* lint: allow R3 — sum is commutative *)
+
+(* lint: allow R1 — fixture demonstrating the comment-above style *)
+let stamp () = Unix.gettimeofday ()

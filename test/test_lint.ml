@@ -1,0 +1,296 @@
+(* The linter's own test suite: fixture corpus, suppression comments,
+   baseline round-trips, and the driver walk.
+
+   Fixtures under [lint_fixtures/] are parsed, never compiled: each
+   [rN_bad.ml] trips exactly rule RN, each [rN_good.ml] is the clean
+   rewrite of the same code.  The path substring "lint_fixtures" arms
+   every rule regardless of which scope it normally lives in. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* cwd is test/ under `dune runtest` but the repo root under
+   `dune exec test/test_main.exe`; accept both. *)
+let fixture_dir =
+  if Sys.file_exists "lint_fixtures" then "lint_fixtures"
+  else Filename.concat "test" "lint_fixtures"
+
+let fixture name = Filename.concat fixture_dir name
+
+let lint_fixture name =
+  match
+    Lint.Driver.lint_source ~rel:(fixture name)
+      ~source:(read_file (fixture name))
+  with
+  | Ok (findings, suppressed) -> (findings, suppressed)
+  | Error msg -> Alcotest.failf "%s failed to parse: %s" name msg
+
+let rule = Alcotest.testable
+    (fun fmt r -> Format.pp_print_string fmt (Lint.Rules.id_to_string r))
+    (fun a b -> a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture corpus                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* (rule, findings expected from rN_bad.ml) *)
+let corpus =
+  [
+    (Lint.Rules.R1, 3);
+    (Lint.Rules.R2, 3);
+    (Lint.Rules.R3, 3);
+    (Lint.Rules.R4, 5);
+    (Lint.Rules.R5, 3);
+    (Lint.Rules.R6, 4);
+    (Lint.Rules.R7, 1);
+    (Lint.Rules.R8, 4);
+  ]
+
+let test_bad_fixtures () =
+  List.iter
+    (fun (r, expected) ->
+      let name =
+        Printf.sprintf "%s_bad.ml"
+          (String.lowercase_ascii (Lint.Rules.id_to_string r))
+      in
+      let findings, _ = lint_fixture name in
+      Alcotest.(check int)
+        (name ^ " finding count") expected (List.length findings);
+      List.iter
+        (fun (f : Lint.Rules.finding) ->
+          Alcotest.check rule (name ^ " rule") r f.rule;
+          Alcotest.(check string) (name ^ " file") (fixture name) f.file;
+          Alcotest.(check bool) (name ^ " line positive") true (f.line > 0))
+        findings)
+    corpus
+
+let test_good_fixtures () =
+  List.iter
+    (fun (r, _) ->
+      let name =
+        Printf.sprintf "%s_good.ml"
+          (String.lowercase_ascii (Lint.Rules.id_to_string r))
+      in
+      let findings, suppressed = lint_fixture name in
+      Alcotest.(check int) (name ^ " findings") 0 (List.length findings);
+      Alcotest.(check int) (name ^ " suppressed") 0 suppressed)
+    corpus
+
+let test_findings_sorted () =
+  List.iter
+    (fun (r, _) ->
+      let name =
+        Printf.sprintf "%s_bad.ml"
+          (String.lowercase_ascii (Lint.Rules.id_to_string r))
+      in
+      let findings, _ = lint_fixture name in
+      Alcotest.(check bool)
+        (name ^ " sorted") true
+        (List.sort Lint.Rules.compare_findings findings = findings))
+    corpus
+
+(* ------------------------------------------------------------------ *)
+(* Rule ids                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_id_round_trip () =
+  List.iter
+    (fun r ->
+      Alcotest.(check (option rule))
+        "to_string/of_string" (Some r)
+        (Lint.Rules.id_of_string (Lint.Rules.id_to_string r));
+      Alcotest.(check (option rule))
+        "case-insensitive" (Some r)
+        (Lint.Rules.id_of_string
+           (String.lowercase_ascii (Lint.Rules.id_to_string r))))
+    Lint.Rules.all_ids;
+  Alcotest.(check (option rule)) "junk" None (Lint.Rules.id_of_string "R9");
+  Alcotest.(check int) "eight rules" 8 (List.length Lint.Rules.all_ids)
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppression_fixture () =
+  let findings, suppressed = lint_fixture "suppressed.ml" in
+  Alcotest.(check int) "findings" 0 (List.length findings);
+  Alcotest.(check int) "suppressed" 2 suppressed
+
+let test_suppress_scan () =
+  let source = read_file (fixture "suppressed.ml") in
+  let allows = Lint.Suppress.scan source in
+  Alcotest.(check int) "two allow comments" 2 (List.length allows);
+  let a3 = List.nth allows 0 and a5 = List.nth allows 1 in
+  Alcotest.(check (list rule)) "first rules" [ Lint.Rules.R3 ] a3.rules;
+  Alcotest.(check (list rule)) "second rules" [ Lint.Rules.R1 ] a5.rules;
+  Alcotest.(check bool) "reasons captured" true
+    (a3.reason <> "" && a5.reason <> "")
+
+let test_suppress_wrong_rule () =
+  (* an allow for a different rule does not silence the finding *)
+  let source =
+    "let total tbl =\n\
+    \  (* lint: allow R1 — wrong rule on purpose *)\n\
+    \  Hashtbl.fold (fun _ v acc -> acc + v) tbl 0\n"
+  in
+  match Lint.Driver.lint_source ~rel:"lib/lint_fixtures/x.ml" ~source with
+  | Ok (findings, suppressed) ->
+      Alcotest.(check int) "finding survives" 1 (List.length findings);
+      Alcotest.(check int) "nothing suppressed" 0 suppressed
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let entry : Lint.Baseline.entry =
+  {
+    rule = Lint.Rules.R1;
+    file = "bench/main.ml";
+    context = "Unix.gettimeofday";
+    reason = "benchmarks measure wall time";
+  }
+
+let test_baseline_round_trip () =
+  let t = [ entry; { entry with rule = Lint.Rules.R3; context = "Hashtbl.fold" } ] in
+  match Lint.Baseline.of_string (Lint.Baseline.to_string t) with
+  | Ok t' ->
+      Alcotest.(check int) "entries survive" (List.length t) (List.length t');
+      Alcotest.(check bool) "identical" true (t = t')
+  | Error msg -> Alcotest.fail msg
+
+let test_baseline_rejects_junk () =
+  match Lint.Baseline.of_string "R1 only-two-fields\n" with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error _ -> ()
+
+let test_baseline_covers () =
+  let hit =
+    Lint.Rules.finding ~rule:Lint.Rules.R1 ~file:"bench/main.ml" ~line:42
+      ~col:0 ~context:"Unix.gettimeofday" ~message:""
+  in
+  let miss_file = { hit with file = "lib/sim/engine.ml" } in
+  let miss_rule = { hit with rule = Lint.Rules.R2 } in
+  Alcotest.(check bool) "covers" true (Lint.Baseline.covers [ entry ] hit);
+  Alcotest.(check bool) "other file" false
+    (Lint.Baseline.covers [ entry ] miss_file);
+  Alcotest.(check bool) "other rule" false
+    (Lint.Baseline.covers [ entry ] miss_rule);
+  Alcotest.(check int) "used entry" 0
+    (List.length (Lint.Baseline.unused [ entry ] [ hit ]));
+  Alcotest.(check int) "unused entry" 1
+    (List.length (Lint.Baseline.unused [ entry ] [ miss_file ]))
+
+let test_baseline_of_findings () =
+  let f line =
+    Lint.Rules.finding ~rule:Lint.Rules.R1 ~file:"bench/main.ml" ~line ~col:0
+      ~context:"Unix.gettimeofday" ~message:""
+  in
+  let t = Lint.Baseline.of_findings [ f 10; f 90 ] in
+  Alcotest.(check int) "dedup on (rule,file,context)" 1 (List.length t);
+  Alcotest.(check bool) "covers both sites" true
+    (Lint.Baseline.covers t (f 10) && Lint.Baseline.covers t (f 90))
+
+let test_baseline_load_missing () =
+  match Lint.Baseline.load (fixture "no-such-baseline") with
+  | Ok t -> Alcotest.(check int) "missing file is empty" 0 (List.length t)
+  | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_driver_walk () =
+  let r = Lint.Driver.run ~root:"." ~paths:[ fixture_dir ] () in
+  Alcotest.(check int) "all fixtures scanned" 17 r.files_scanned;
+  Alcotest.(check bool) "bad fixtures fail the run" false (Lint.Driver.ok r);
+  Alcotest.(check int) "errors" 0 (List.length r.errors);
+  Alcotest.(check int) "suppressed.ml counted" 2 r.suppressed;
+  let expected = List.fold_left (fun acc (_, n) -> acc + n) 0 corpus in
+  Alcotest.(check int) "total findings" expected (List.length r.findings);
+  List.iter
+    (fun (rl, n) ->
+      Alcotest.(check int)
+        ("per-rule " ^ Lint.Rules.id_to_string rl)
+        n
+        (List.length
+           (List.filter
+              (fun (f : Lint.Rules.finding) -> f.rule = rl)
+              r.findings)))
+    corpus
+
+let test_driver_baseline_absorbs () =
+  let baseline =
+    Lint.Baseline.of_findings ~reason:"fixture"
+      (Lint.Driver.run ~root:"." ~paths:[ fixture_dir ] ()).findings
+  in
+  let r = Lint.Driver.run ~root:"." ~baseline ~paths:[ fixture_dir ] () in
+  Alcotest.(check bool) "baselined run is ok" true (Lint.Driver.ok r);
+  Alcotest.(check int) "no unused entries" 0 (List.length r.unused_baseline);
+  Alcotest.(check bool) "findings became baselined" true (r.baselined > 0)
+
+let test_driver_missing_path () =
+  let r = Lint.Driver.run ~root:"." ~paths:[ fixture "absent.ml" ] () in
+  Alcotest.(check bool) "missing path is an error" false (Lint.Driver.ok r)
+
+let test_driver_parse_error () =
+  match Lint.Driver.lint_source ~rel:"x.ml" ~source:"let let let" with
+  | Ok _ -> Alcotest.fail "syntax error accepted"
+  | Error msg ->
+      Alcotest.(check bool) "names the file" true
+        (String.length msg > 0)
+
+let test_driver_mli_parse_only () =
+  match Lint.Driver.lint_source ~rel:"lib/lint_fixtures/x.mli" ~source:"val stamp : unit -> float\n" with
+  | Ok (findings, suppressed) ->
+      Alcotest.(check int) "no findings from an interface" 0
+        (List.length findings);
+      Alcotest.(check int) "no suppressions" 0 suppressed
+  | Error msg -> Alcotest.fail msg
+
+let test_json_shape () =
+  let r = Lint.Driver.run ~root:"." ~paths:[ fixture_dir ] () in
+  let json = Lint.Driver.report_to_json r in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i =
+      i + nl <= hl && (String.sub json i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "ok:false" true (contains "\"ok\":false");
+  Alcotest.(check bool) "findings array" true (contains "\"findings\":[");
+  Alcotest.(check bool) "rule tag" true (contains "\"rule\":\"R1\"");
+  let clean = Lint.Driver.run ~root:"." ~paths:[ fixture "r1_good.ml" ] () in
+  Alcotest.(check bool) "ok:true" true
+    (let j = Lint.Driver.report_to_json clean in
+     String.length j > 10 && String.sub j 0 11 = "{\"ok\":true,")
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "bad fixtures trip their rule" `Quick test_bad_fixtures;
+    Alcotest.test_case "good fixtures are clean" `Quick test_good_fixtures;
+    Alcotest.test_case "findings are sorted" `Quick test_findings_sorted;
+    Alcotest.test_case "rule ids round-trip" `Quick test_id_round_trip;
+    Alcotest.test_case "suppression fixture" `Quick test_suppression_fixture;
+    Alcotest.test_case "suppress scan" `Quick test_suppress_scan;
+    Alcotest.test_case "allow for wrong rule" `Quick test_suppress_wrong_rule;
+    Alcotest.test_case "baseline round-trip" `Quick test_baseline_round_trip;
+    Alcotest.test_case "baseline rejects junk" `Quick test_baseline_rejects_junk;
+    Alcotest.test_case "baseline covers" `Quick test_baseline_covers;
+    Alcotest.test_case "baseline of_findings" `Quick test_baseline_of_findings;
+    Alcotest.test_case "baseline missing file" `Quick test_baseline_load_missing;
+    Alcotest.test_case "driver walks the corpus" `Quick test_driver_walk;
+    Alcotest.test_case "baseline absorbs the corpus" `Quick
+      test_driver_baseline_absorbs;
+    Alcotest.test_case "missing path errors" `Quick test_driver_missing_path;
+    Alcotest.test_case "parse error reported" `Quick test_driver_parse_error;
+    Alcotest.test_case "mli is parse-only" `Quick test_driver_mli_parse_only;
+    Alcotest.test_case "json report shape" `Quick test_json_shape;
+  ]

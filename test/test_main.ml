@@ -23,4 +23,5 @@ let () =
       ("realtime", Test_realtime.suite);
       ("harness", Test_harness.suite);
       ("invariants", Test_invariants.suite);
+      ("lint", Test_lint.suite);
     ]
