@@ -10,7 +10,13 @@
       reproduce each of the paper's quantitative claims.
 
    BENCH_SPEED=full widens the sweeps (more sizes, more seeds);
-   BENCH_SKIP_MICRO=1 skips the bechamel half. *)
+   BENCH_SKIP_MICRO=1 skips the expensive per-experiment bechamel half —
+   the cheap substrate micro-benches (event queue, PRNG, heaps, oracle)
+   always run, so micro_ns_per_run is never empty.
+
+   A third section benchmarks the model checker itself (layered-BFS
+   throughput, visited-table footprint, serial-vs-parallel speedup);
+   its numbers land in BENCH_RESULTS.json as mcheck_*. *)
 
 open Bechamel
 
@@ -286,9 +292,19 @@ let oracle_churn () =
   done;
   ignore (Bconsensus.Ordering_oracle.due !o ~now_local:10.)
 
-let tests =
-  Test.make_grouped ~name:"repro"
-    [
+(* The cheap substrate micro-benches always run (microseconds each);
+   BENCH_SKIP_MICRO only drops the per-experiment half, which re-times a
+   whole simulated execution per sample. *)
+let cheap_cases =
+  [
+    Test.make ~name:"substrate/pairing-heap-1k" (Staged.stage heap_churn);
+    Test.make ~name:"substrate/event-queue-1k" (Staged.stage event_queue_churn);
+    Test.make ~name:"substrate/prng-1k" (Staged.stage prng_draws);
+    Test.make ~name:"substrate/ordering-oracle-200" (Staged.stage oracle_churn);
+  ]
+
+let expensive_cases =
+  [
       Test.make ~name:"e1/modified-paxos-run" (Staged.stage e1_once);
       Test.make ~name:"e2/traditional-paxos-run" (Staged.stage e2_once);
       Test.make ~name:"e3/rotating-coordinator-run" (Staged.stage e3_once);
@@ -302,18 +318,14 @@ let tests =
       Test.make ~name:"a2/holdback-run" (Staged.stage a2_once);
       Test.make ~name:"e10/smr-run" (Staged.stage e10_once);
       Test.make ~name:"e11/omega-run" (Staged.stage e11_once);
-      Test.make ~name:"a3/nojump-run" (Staged.stage a3_once);
-      Test.make ~name:"a4/progress-gate-run" (Staged.stage a4_once);
-      Test.make ~name:"substrate/pairing-heap-1k" (Staged.stage heap_churn);
-      Test.make ~name:"substrate/event-queue-1k"
-        (Staged.stage event_queue_churn);
-      Test.make ~name:"substrate/prng-1k" (Staged.stage prng_draws);
-      Test.make ~name:"substrate/ordering-oracle-200" (Staged.stage oracle_churn);
-    ]
+    Test.make ~name:"a3/nojump-run" (Staged.stage a3_once);
+    Test.make ~name:"a4/progress-gate-run" (Staged.stage a4_once);
+  ]
 
-(* [run_micro] prints the human table and returns
+(* [run_micro cases] prints the human table and returns
    [(name, ns_per_run option, r_square option)] rows for the JSON dump. *)
-let run_micro () =
+let run_micro cases =
+  let tests = Test.make_grouped ~name:"repro" cases in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -372,7 +384,10 @@ let json_float f =
 let json_opt_float = function Some f -> json_float f | None -> "null"
 
 let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
-    ~invariants_ok ~lint =
+    ~mcheck ~invariants_ok ~lint =
+  let mc_states, mc_wall, mc_states_per_s, mc_visited_mb, mc_speedup =
+    mcheck
+  in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -386,6 +401,11 @@ let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
     | Some s when wall > 0. -> json_float (s /. wall)
     | _ -> "null");
   p "  },\n";
+  p "  \"mcheck_states\": %d,\n" mc_states;
+  p "  \"mcheck_wall_clock_s\": %s,\n" (json_float mc_wall);
+  p "  \"mcheck_states_per_s\": %s,\n" (json_float mc_states_per_s);
+  p "  \"mcheck_visited_mb\": %s,\n" (json_float mc_visited_mb);
+  p "  \"mcheck_speedup\": %s,\n" (json_opt_float mc_speedup);
   p "  \"trace_invariants_ok\": %b,\n" invariants_ok;
   (match lint with
   | Some (lint_ok, findings) ->
@@ -415,7 +435,10 @@ let () =
     match speed with Harness.Experiments.Full -> "full" | Quick -> "quick"
   in
   let micro =
-    if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then run_micro () else []
+    run_micro
+      (if Sys.getenv_opt "BENCH_SKIP_MICRO" = None then
+         cheap_cases @ expensive_cases
+       else cheap_cases)
   in
   let time f =
     let t0 = Unix.gettimeofday () in
@@ -477,6 +500,47 @@ let () =
   Format.printf "trace invariants: %s on %d replayed scenarios@."
     (if invariants_ok then "OK" else "FAILED")
     (List.length Harness.Experiments.ids);
+  (* Model-checker throughput: one deep bounded search of the paxos core
+     (~2*10^5 states at depth 10) on the pool, re-run serially when the
+     pool is real so the JSON records the speedup on this machine. *)
+  let mcheck =
+    let cfg =
+      { Mcheck.Model.n = 3; proposals = [| 10; 20; 30 |]; max_session = 1;
+        gate = true }
+    in
+    let properties = Mcheck.Explorer.all_properties cfg in
+    let search ?registry ~domains () =
+      Mcheck.Explorer.run ~max_depth:10 ~domains ?registry cfg
+        ~max_states:1_000_000 ~properties
+    in
+    let o, mc_wall = time (fun () -> search ~registry:metrics ~domains ()) in
+    let serial_wall =
+      if domains > 1 then Some (snd (time (fun () -> search ~domains:1 ())))
+      else None
+    in
+    let states_per_s =
+      if mc_wall > 0. then float_of_int o.Mcheck.Explorer.states /. mc_wall
+      else 0.
+    in
+    let visited_mb =
+      float_of_int o.Mcheck.Explorer.table_words *. 8. /. 1e6
+    in
+    let speedup =
+      match serial_wall with
+      | Some s when mc_wall > 0. -> Some (s /. mc_wall)
+      | _ -> None
+    in
+    Format.printf
+      "mcheck: %d states, %d transitions in %.1fs (%.0f states/s, visited \
+       table %.1f MB, %d domain%s%s)@."
+      o.Mcheck.Explorer.states o.Mcheck.Explorer.transitions mc_wall
+      states_per_s visited_mb domains
+      (if domains = 1 then "" else "s")
+      (match speedup with
+      | Some sp -> Printf.sprintf ", speedup %.2fx" sp
+      | None -> "");
+    (o.Mcheck.Explorer.states, mc_wall, states_per_s, visited_mb, speedup)
+  in
   (* Static-analysis verdict alongside the dynamic one: the same pass
      `consensus_sim lint` runs, against the checked-in baseline.  [None]
      when the sources are not on disk (e.g. an installed binary). *)
@@ -500,5 +564,5 @@ let () =
   | None -> Format.printf "lint: skipped (no source tree)@.");
   let path = "BENCH_RESULTS.json" in
   write_results ~path ~speed:speed_name ~domains ~wall ~serial_wall ~micro
-    ~metrics ~invariants_ok ~lint;
+    ~metrics ~mcheck ~invariants_ok ~lint;
   Format.printf "(wrote %s)@." path

@@ -431,10 +431,34 @@ let sweep_cmd =
 (* check (bounded model checking)                                      *)
 (* ------------------------------------------------------------------ *)
 
-let check_impl model gate max_session depth max_states =
+let check_impl model gate max_session depth max_states domains exact_keys =
   (* lint: allow R1 — elapsed-time display for the operator, not part
      of any simulated run *)
   let t0 = Unix.gettimeofday () in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Harness.Measure.domain_count ()
+  in
+  let registry = Sim.Registry.create () in
+  (* Everything on stdout is identical at any --domains (the merge rule
+     in {!Mcheck.Explore}); wall-clock and pool size go to stderr so
+     stdout can be diffed across domain counts. *)
+  let footer collisions =
+    (match collisions with
+    | Some c ->
+        Format.printf "exact-keys: %d fingerprint collision%s@." c
+          (if c = 1 then "" else "s")
+    | None -> ());
+    Format.printf "frontier: %d levels, %d states@."
+      (Sim.Registry.counter_total registry "mcheck_frontier_levels")
+      (Sim.Registry.counter_total registry "mcheck_frontier_states");
+    (* lint: allow R1 — elapsed-time display for the operator *)
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Format.eprintf "(%d domain%s, %.1fs)@." domains
+      (if domains = 1 then "" else "s")
+      elapsed
+  in
   match model with
   | "paxos" ->
       let cfg =
@@ -446,7 +470,8 @@ let check_impl model gate max_session depth max_states =
         }
       in
       let o =
-        Mcheck.Explorer.run ~max_depth:depth cfg ~max_states
+        Mcheck.Explorer.run ~max_depth:depth ~domains ~exact_keys ~registry
+          cfg ~max_states
           ~properties:
             (if gate then Mcheck.Explorer.all_properties cfg
              else Mcheck.Explorer.safety_properties cfg)
@@ -455,9 +480,9 @@ let check_impl model gate max_session depth max_states =
         max_session
         (if gate then "on" else "off")
         depth;
-      Format.printf "%a (%.1fs)@." Mcheck.Explorer.pp_outcome o
-        (* lint: allow R1 — elapsed-time display for the operator *)
-        (Unix.gettimeofday () -. t0)
+      Format.printf "%a@." Mcheck.Explorer.pp_outcome o;
+      (* pp_outcome already reports collisions *)
+      footer None
   | "b-consensus" ->
       let cfg =
         {
@@ -467,22 +492,18 @@ let check_impl model gate max_session depth max_states =
           mutation = None;
         }
       in
-      let key (st : Mcheck.Bc_model.state) =
-        ( Array.to_list st.Mcheck.Bc_model.procs,
-          Mcheck.Bc_model.Msgset.elements st.Mcheck.Bc_model.msgs )
-      in
       let o =
-        Mcheck.Explore.run
+        Mcheck.Explore.run ~domains ~exact_keys ~registry
           ~initial:(Mcheck.Bc_model.initial cfg)
           ~successors:(Mcheck.Bc_model.successors cfg)
-          ~key
+          ~fingerprint:Mcheck.Bc_model.fingerprint ~key:Mcheck.Bc_model.key
           ~properties:
             [
               ("agreement", Mcheck.Bc_model.agreement);
               ("validity", fun st -> Mcheck.Bc_model.validity cfg st);
               ("lock-uniqueness", Mcheck.Bc_model.lock_uniqueness);
             ]
-          ~max_depth:depth ~max_states
+          ~max_depth:depth ~max_states ()
       in
       Format.printf "model: b-consensus round core, n=3, rounds <= %d, depth <= %d@."
         max_session depth;
@@ -495,8 +516,7 @@ let check_impl model gate max_session depth max_states =
             (if o.Mcheck.Explore.complete then "exhaustive"
              else "bounded (cap hit)")
             o.Mcheck.Explore.states o.transitions);
-      (* lint: allow R1 — elapsed-time display for the operator *)
-      Format.printf "(%.1fs)@." (Unix.gettimeofday () -. t0)
+      footer o.Mcheck.Explore.collisions
   | m -> failwith (Printf.sprintf "unknown model %S (paxos, b-consensus)" m)
 
 let check_cmd =
@@ -529,6 +549,24 @@ let check_cmd =
             "$(b,paxos) (the session-gated core) or $(b,b-consensus) (the \
              Section 5 round core; --max-session bounds rounds).")
   in
+  let domains_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains for frontier expansion (default: \
+             $(b,SIM_DOMAINS) or the recommended domain count).  Results \
+             are identical at any value; 1 runs fully serial.")
+  in
+  let exact_keys_arg =
+    Arg.(
+      value & flag
+      & info [ "exact-keys" ]
+          ~doc:
+            "Verification mode: key the visited set on full structural \
+             state keys (authoritative) and count 128-bit fingerprint \
+             collisions against them.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
@@ -537,7 +575,7 @@ let check_cmd =
           executions).")
     Term.(
       const check_impl $ model_arg $ gate_arg $ session_arg $ depth_arg
-      $ states_arg)
+      $ states_arg $ domains_arg $ exact_keys_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace: replay / import, filter, timeline, invariants                *)

@@ -68,6 +68,44 @@ let initial cfg =
 
 let majority n = (n / 2) + 1
 
+(* Canonical sorted-list key (set values are not canonical); the
+   exact-mode visited key, mirrored by the fingerprint stream below. *)
+let key (st : state) = (Array.to_list st.procs, Msgset.elements st.msgs)
+
+(* Canonical, prefix-decodable word stream: lengths before sections,
+   explicit tags before every option/variant payload, messages in
+   Msgset (sorted) order. *)
+let fold_canonical f acc st =
+  let fold_opt f acc = function None -> f acc 0 | Some v -> f (f acc 1) v in
+  let acc = f acc (Array.length st.procs) in
+  let acc =
+    Array.fold_left
+      (fun acc p ->
+        let acc = f acc p.round in
+        let acc = f acc p.est in
+        let acc = fold_opt f acc p.reported in
+        let acc =
+          match p.locked with
+          | None -> f acc 0
+          | Some None -> f acc 1
+          | Some (Some v) -> f (f acc 2) v
+        in
+        f acc p.decided)
+      acc st.procs
+  in
+  let acc = f acc (Msgset.cardinal st.msgs) in
+  Msgset.fold
+    (fun m acc ->
+      match m with
+      | First { src; round; value } -> f (f (f (f acc 0) src) round) value
+      | Report { src; round; value } -> f (f (f (f acc 1) src) round) value
+      | Lock { src; round; value } ->
+          fold_opt f (f (f (f acc 2) src) round) value)
+    st.msgs acc
+
+let fingerprint st =
+  Fingerprint.finish (fold_canonical Fingerprint.add_int Fingerprint.empty st)
+
 let with_proc st p proc =
   let procs = Array.copy st.procs in
   procs.(p) <- proc;
@@ -120,12 +158,14 @@ let reports cfg st =
 (* 3. Lock: the first majority of reports fixes the lock value (all
    majority subsets explored). *)
 let locks cfg st =
+  (* one scratch table per call, reset per process *)
+  let by_sender = Hashtbl.create 8 in
   List.concat_map
     (fun p ->
       let pr = st.procs.(p) in
       if pr.locked <> None then []
       else begin
-        let by_sender = Hashtbl.create 8 in
+        Hashtbl.reset by_sender;
         Msgset.iter
           (function
             | Report { src; round; value } when round = pr.round ->
@@ -156,17 +196,30 @@ let locks cfg st =
 (* 4. Finish: a majority of locks ends the round — decide on all-Some,
    adopt any Some, else fall back to the reported (oracle) value. *)
 let finishes cfg st =
+  (* group lock entries by round once per call, instead of rescanning
+     the whole message set once per process; the per-round cons order is
+     the same as the per-process fold it replaces *)
+  let locks_by_round : (int, (int * int option) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  Msgset.iter
+    (function
+      | Lock { src; round; value } ->
+          let prev =
+            match Hashtbl.find_opt locks_by_round round with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace locks_by_round round ((src, value) :: prev)
+      | _ -> ())
+    st.msgs;
   List.concat_map
     (fun p ->
       let pr = st.procs.(p) in
       let lock_entries =
-        Msgset.fold
-          (fun m acc ->
-            match m with
-            | Lock { src; round; value } when round = pr.round ->
-                (src, value) :: acc
-            | _ -> acc)
-          st.msgs []
+        match Hashtbl.find_opt locks_by_round pr.round with
+        | Some l -> l
+        | None -> []
       in
       List.filter_map
         (fun subset ->
@@ -208,26 +261,31 @@ let finishes cfg st =
 (* 5. Jump: receipt of a higher-round message lets p enter that round
    directly. *)
 let jumps cfg st =
+  (* distinct in-cap rounds are collected once per call (first-encounter
+     order, as before) and filtered per process, instead of rescanning
+     the message set once per process *)
+  let all_rounds =
+    Msgset.fold
+      (fun m acc ->
+        let r =
+          match m with
+          | First { round; _ } | Report { round; _ } | Lock { round; _ } ->
+              round
+        in
+        if r <= cfg.max_round && not (List.mem r acc) then r :: acc else acc)
+      st.msgs []
+  in
   List.concat_map
     (fun p ->
       let pr = st.procs.(p) in
-      let rounds =
-        Msgset.fold
-          (fun m acc ->
-            let r =
-              match m with
-              | First { round; _ } | Report { round; _ } | Lock { round; _ } ->
-                  round
-            in
-            if r > pr.round && r <= cfg.max_round && not (List.mem r acc) then
-              r :: acc
-            else acc)
-          st.msgs []
-      in
-      List.map
+      List.filter_map
         (fun r ->
-          with_proc st p { pr with round = r; reported = None; locked = None })
-        rounds)
+          if r > pr.round then
+            Some
+              (with_proc st p
+                 { pr with round = r; reported = None; locked = None })
+          else None)
+        all_rounds)
     (procs cfg)
 
 let successors cfg st =

@@ -55,6 +55,17 @@ val initial : config -> state
 
 val successors : config -> state -> state list
 
+(** {2 State identity} (see {!Model}: set values are not canonical) *)
+
+(** Canonical structural key — the exact-mode visited key. *)
+val key : state -> proc list * msg list
+
+(** Canonical, prefix-decodable word encoding of a state. *)
+val fold_canonical : ('a -> int -> 'a) -> 'a -> state -> 'a
+
+(** 128-bit fingerprint of the canonical encoding. *)
+val fingerprint : state -> Fingerprint.t
+
 (** {2 Properties} *)
 
 val agreement : state -> bool

@@ -3,46 +3,155 @@ type 'state outcome = {
   transitions : int;
   complete : bool;
   violation : (string * 'state) option;
+  collisions : int option;
+  table_words : int;
 }
 
-let run ~initial ~successors ~key ~properties ~max_depth ~max_states =
-  let visited = Hashtbl.create 4096 in
-  let queue = Queue.create () in
+(* Split [xs] into at most [parts] contiguous chunks of near-equal
+   length, preserving order.  Chunking only affects load balance: the
+   coordinator merges per-chunk results in submission order, so the
+   concatenation is always the original successor order. *)
+let split_chunks ~parts xs =
+  let n = List.length xs in
+  if parts <= 1 || n <= 1 then [ xs ]
+  else begin
+    let parts = Int.min parts n in
+    let base = n / parts and extra = n mod parts in
+    let rec take k xs acc =
+      if k = 0 then (List.rev acc, xs)
+      else
+        match xs with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (k - 1) tl (x :: acc)
+    in
+    let rec go i xs acc =
+      if i >= parts then List.rev acc
+      else
+        let len = base + if i < extra then 1 else 0 in
+        let chunk, rest = take len xs [] in
+        go (i + 1) rest (chunk :: acc)
+    in
+    go 0 xs []
+  end
+
+let run ?(domains = 1) ?(exact_keys = false) ?registry ~initial ~successors
+    ~fingerprint ~key ~properties ~max_depth ~max_states () =
+  let pool =
+    if domains > 1 then Some (Sim.Domain_pool.create ~domains ()) else None
+  in
+  let finally () =
+    match pool with Some p -> Sim.Domain_pool.shutdown p | None -> ()
+  in
+  Fun.protect ~finally @@ fun () ->
+  let visited_fp : unit Fingerprint.Tbl.t = Fingerprint.Tbl.create 4096 in
+  (* exact-keys mode: the structural table is authoritative (results are
+     ground truth) and [visited_fp] runs alongside purely to count
+     collisions *)
+  let visited_exact =
+    if exact_keys then Some (Hashtbl.create ~random:false 4096) else None
+  in
+  let stored () =
+    match visited_exact with
+    | Some t -> Hashtbl.length t
+    | None -> Fingerprint.Tbl.length visited_fp
+  in
   let transitions = ref 0 in
-  let violation = ref None in
   let complete = ref true in
+  let violation = ref None in
+  let collisions = ref 0 in
   let check st =
     match List.find_opt (fun (_, pred) -> not (pred st)) properties with
-    | Some (name, _) when !violation = None -> violation := Some (name, st)
-    | _ -> ()
+    | Some (name, _) -> violation := Some (name, st)
+    | None -> ()
   in
-  let push depth st =
-    let k = key st in
-    if not (Hashtbl.mem visited k) then begin
-      if Hashtbl.length visited >= max_states then complete := false
-      else begin
-        Hashtbl.add visited k ();
-        check st;
-        if depth < max_depth then Queue.push (depth, st) queue
-        else complete := false
-      end
+  (* First occurrence of a state: property-check it (before any bound),
+     and store + schedule it unless the state cap is hit. *)
+  let admit next (fp, st) =
+    let status =
+      match visited_exact with
+      | Some t ->
+          let k = key st in
+          if Hashtbl.mem t k then `Seen
+          else if Hashtbl.length t >= max_states then `Full
+          else begin
+            if Fingerprint.Tbl.mem visited_fp fp then incr collisions;
+            Hashtbl.replace t k ();
+            Fingerprint.Tbl.replace visited_fp fp ();
+            `Stored
+          end
+      | None ->
+          if Fingerprint.Tbl.mem visited_fp fp then `Seen
+          else if Fingerprint.Tbl.length visited_fp >= max_states then `Full
+          else begin
+            Fingerprint.Tbl.replace visited_fp fp ();
+            `Stored
+          end
+    in
+    match status with
+    | `Seen -> ()
+    | `Stored ->
+        next := st :: !next;
+        check st
+    | `Full ->
+        complete := false;
+        check st
+  in
+  let expand states =
+    List.map
+      (fun st -> List.map (fun s -> (fingerprint s, s)) (successors st))
+      states
+  in
+  let seed = ref [] in
+  admit seed (fingerprint initial, initial);
+  let frontier = ref (List.rev !seed) in
+  let depth = ref 0 in
+  let continue_ () =
+    (match !frontier with [] -> false | _ :: _ -> true)
+    && Option.is_none !violation
+  in
+  while continue_ () do
+    (match registry with
+    | Some r ->
+        Sim.Registry.inc r "mcheck_frontier_levels";
+        Sim.Registry.inc r ~by:(List.length !frontier) "mcheck_frontier_states"
+    | None -> ());
+    if !depth >= max_depth then begin
+      (* states at the depth bound are stored and checked, not expanded *)
+      complete := false;
+      frontier := []
     end
-  in
-  push 0 initial;
-  let rec loop () =
-    if !violation <> None || Queue.is_empty queue then ()
     else begin
-      let depth, st = Queue.pop queue in
-      let succs = successors st in
-      transitions := !transitions + List.length succs;
-      List.iter (push (depth + 1)) succs;
-      loop ()
+      let chunks = split_chunks ~parts:(domains * 4) !frontier in
+      let expanded =
+        match pool with
+        | Some p -> Sim.Domain_pool.map p expand chunks
+        | None -> List.map expand chunks
+      in
+      (* every generated edge of the level counts, deterministically,
+         whether or not the merge below stops at a violation *)
+      List.iter
+        (List.iter (fun succs -> transitions := !transitions + List.length succs))
+        expanded;
+      let next = ref [] in
+      List.iter
+        (List.iter
+           (List.iter (fun fs -> if Option.is_none !violation then admit next fs)))
+        expanded;
+      frontier := List.rev !next;
+      incr depth
     end
+  done;
+  let table_words =
+    Obj.reachable_words (Obj.repr visited_fp)
+    + match visited_exact with
+      | Some t -> Obj.reachable_words (Obj.repr t)
+      | None -> 0
   in
-  loop ();
   {
-    states = Hashtbl.length visited;
+    states = stored ();
     transitions = !transitions;
-    complete = !complete && !violation = None;
+    complete = !complete && Option.is_none !violation;
     violation = !violation;
+    collisions = (if exact_keys then Some !collisions else None);
+    table_words;
   }

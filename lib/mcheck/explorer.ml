@@ -3,6 +3,8 @@ type outcome = {
   transitions : int;
   complete : bool;
   violation : (string * Model.state) option;
+  collisions : int option;
+  table_words : int;
 }
 
 let safety_properties cfg =
@@ -15,31 +17,32 @@ let all_properties cfg =
   safety_properties cfg
   @ [ ("obsolete-bound", fun st -> Model.obsolete_bound cfg st) ]
 
-(* Set.t values are not canonical (equal sets can have different AVL
-   shapes), so hashing states directly would break the visited check;
-   [Msgset.elements] gives a canonical sorted-list key. *)
-let key_of (st : Model.state) =
-  (Array.to_list st.Model.procs, Model.Msgset.elements st.Model.msgs)
-
-let run ?(max_depth = max_int) cfg ~max_states ~properties =
+let run ?(max_depth = max_int) ?(domains = 1) ?(exact_keys = false) ?registry
+    cfg ~max_states ~properties =
   let o =
-    Explore.run ~initial:(Model.initial cfg)
-      ~successors:(Model.successors cfg) ~key:key_of ~properties ~max_depth
-      ~max_states
+    Explore.run ~domains ~exact_keys ?registry ~initial:(Model.initial cfg)
+      ~successors:(Model.successors cfg) ~fingerprint:Model.fingerprint
+      ~key:Model.key ~properties ~max_depth ~max_states ()
   in
   {
     states = o.Explore.states;
     transitions = o.Explore.transitions;
     complete = o.Explore.complete;
     violation = o.Explore.violation;
+    collisions = o.Explore.collisions;
+    table_words = o.Explore.table_words;
   }
 
 let pp_outcome fmt o =
-  match o.violation with
+  (match o.violation with
   | Some (name, st) ->
       Format.fprintf fmt "VIOLATION of %s at %a (after %d states)" name
         Model.pp_state st o.states
   | None ->
       Format.fprintf fmt "%s: %d states, %d transitions, no violations"
         (if o.complete then "exhaustive" else "bounded (cap hit)")
-        o.states o.transitions
+        o.states o.transitions);
+  match o.collisions with
+  | Some c -> Format.fprintf fmt "; %d fingerprint collision%s" c
+        (if c = 1 then "" else "s")
+  | None -> ()

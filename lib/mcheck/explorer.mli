@@ -1,27 +1,36 @@
-(** Exhaustive breadth-first exploration of the {!Model} state space. *)
+(** Bounded exploration of the {!Model} state space — {!Explore.run}
+    instantiated with {!Model.fingerprint} / {!Model.key}. *)
 
 type outcome = {
-  states : int;  (** distinct states visited *)
-  transitions : int;
-  complete : bool;  (** false if [max_states] stopped the search *)
+  states : int;  (** stored states (the visited-set size) *)
+  transitions : int;  (** generated edges of expanded levels *)
+  complete : bool;  (** false if a depth/state bound stopped the search *)
   violation : (string * Model.state) option;
       (** first property violation found: (property name, witness) *)
+  collisions : int option;
+      (** [Some n] in [exact_keys] mode (see {!Explore.run}) *)
+  table_words : int;  (** visited-table footprint in heap words *)
 }
 
 (** [run cfg ~max_states ~properties] explores breadth-first from
     {!Model.initial}.  [properties] are (name, predicate) pairs checked
-    on every visited state; the search stops at the first violation.
-    [max_depth] bounds the exploration depth (bounded model checking):
-    when either bound is hit, [complete] is [false] but every state
-    within the bound has still been checked. *)
+    on every discovered state — before either bound applies (see
+    {!Explore.run} for the full bound semantics); the search stops at
+    the first violation.  [domains] parallelizes frontier expansion
+    with byte-identical results at any value; [exact_keys] re-runs the
+    visited check on structural keys and counts fingerprint
+    collisions. *)
 val run :
   ?max_depth:int ->
+  ?domains:int ->
+  ?exact_keys:bool ->
+  ?registry:Sim.Registry.t ->
   Model.config ->
   max_states:int ->
   properties:(string * (Model.state -> bool)) list ->
   outcome
 
-(** The three standard property sets. *)
+(** The two standard property sets. *)
 val safety_properties :
   Model.config -> (string * (Model.state -> bool)) list
 

@@ -1,0 +1,57 @@
+type t = { hi : int64; lo : int64 }
+
+let equal a b = Int64.equal a.hi b.hi && Int64.equal a.lo b.lo
+
+let compare a b =
+  let c = Int64.compare a.hi b.hi in
+  if c <> 0 then c else Int64.compare a.lo b.lo
+
+let hash t = Int64.to_int t.lo land max_int
+
+let to_hex t = Printf.sprintf "%016Lx%016Lx" t.hi t.lo
+
+(* Two independent 64-bit lanes.  Each step xors the (whitened) input
+   word into the lane, multiplies by a lane-specific odd constant and
+   runs the splitmix64 finalizer, so every input bit avalanches into
+   the whole lane before the next word arrives.  The lanes differ in
+   multiplier, initial value and input whitening, so a joint collision
+   needs the full 128-bit internal state to collide. *)
+
+let mix64 z =
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul
+      (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+type acc = { h1 : int64; h2 : int64 }
+
+let empty = { h1 = 0x9E3779B97F4A7C15L; h2 = 0xC2B2AE3D27D4EB4FL }
+
+let add_int64 a w =
+  {
+    h1 = mix64 (Int64.mul (Int64.logxor a.h1 w) 0xFF51AFD7ED558CCDL);
+    h2 =
+      mix64
+        (Int64.mul
+           (Int64.logxor a.h2 (Int64.logxor w 0xA5A5A5A5A5A5A5A5L))
+           0xC4CEB9FE1A85EC53L);
+  }
+
+let add_int a i = add_int64 a (Int64.of_int i)
+
+let finish a = { hi = mix64 a.h1; lo = mix64 a.h2 }
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)

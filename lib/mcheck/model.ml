@@ -82,6 +82,43 @@ let senders_in_session cfg msgs s =
       else acc)
     msgs []
 
+(* Set.t values are not canonical (equal sets can have different AVL
+   shapes), so hashing/comparing states directly would break visited
+   checks; [Msgset.elements] gives a canonical sorted-list key.  This is
+   the exact-mode key; the fingerprint below hashes the same canonical
+   stream. *)
+let key (st : state) = (Array.to_list st.procs, Msgset.elements st.msgs)
+
+(* Canonical, prefix-decodable word stream: section lengths first, then
+   fixed-arity records, then messages in Msgset (sorted) order with a
+   tag before each payload.  Equal states produce equal streams and
+   distinct states distinct streams, which is all {!Fingerprint}
+   needs. *)
+let fold_canonical f acc st =
+  let acc = f acc (Array.length st.procs) in
+  let acc =
+    Array.fold_left
+      (fun acc p ->
+        let acc = f acc p.mbal in
+        let acc = f acc p.vbal in
+        let acc = f acc p.vval in
+        f acc p.decided)
+      acc st.procs
+  in
+  let acc = f acc (Msgset.cardinal st.msgs) in
+  Msgset.fold
+    (fun m acc ->
+      match m with
+      | M1a { src; bal } -> f (f (f acc 0) src) bal
+      | M1b { src; bal; vbal; vval } ->
+          f (f (f (f (f acc 1) src) bal) vbal) vval
+      | M2a { bal; value } -> f (f (f acc 2) bal) value
+      | M2b { src; bal; value } -> f (f (f (f acc 3) src) bal) value)
+    st.msgs acc
+
+let fingerprint st =
+  Fingerprint.finish (fold_canonical Fingerprint.add_int Fingerprint.empty st)
+
 let with_proc st p proc =
   let procs = Array.copy st.procs in
   procs.(p) <- proc;
@@ -121,16 +158,19 @@ let start_phase1s cfg st =
       end)
     (List.init cfg.n Fun.id)
 
-(* Receive a 1a: adopt the ballot and answer 1b. *)
+(* Receive a 1a: adopt the ballot and answer 1b.  Successors are consed
+   straight onto the accumulator (no per-message intermediate list), and
+   the process list is built once per call, not once per message. *)
 let deliver_1as cfg st =
+  let ps = List.init cfg.n Fun.id in
   Msgset.fold
     (fun m acc ->
       match m with
       | M1a { bal; _ } ->
-          List.filter_map
-            (fun p ->
+          List.fold_left
+            (fun acc p ->
               let proc = st.procs.(p) in
-              if bal < proc.mbal then None
+              if bal < proc.mbal then acc
               else begin
                 let st' = with_proc st p { proc with mbal = bal } in
                 match
@@ -138,14 +178,13 @@ let deliver_1as cfg st =
                     (M1b
                        { src = p; bal; vbal = proc.vbal; vval = proc.vval })
                 with
-                | Some st'' -> Some st''
+                | Some st'' -> st'' :: acc
                 | None ->
                     (* the 1b already exists; still a transition if the
                        adoption raised p's ballot *)
-                    if proc.mbal < bal then Some st' else None
+                    if proc.mbal < bal then st' :: acc else acc
               end)
-            (List.init cfg.n Fun.id)
-          @ acc
+            acc ps
       | _ -> acc)
     st.msgs []
 
@@ -153,6 +192,9 @@ let deliver_1as cfg st =
    answers (every choice of majority is explored — the adversary picks)
    and proposes the max-vbal value, or its own proposal. *)
 let phase2as cfg st =
+  (* one scratch table per call, reset per process: the 1b grouping is
+     the hot allocation in successor generation *)
+  let by_sender = Hashtbl.create 8 in
   List.concat_map
     (fun p ->
       let proc = st.procs.(p) in
@@ -162,7 +204,7 @@ let phase2as cfg st =
       then []
       else begin
         (* group this ballot's 1b messages by sender *)
-        let by_sender = Hashtbl.create 8 in
+        Hashtbl.reset by_sender;
         Msgset.iter
           (function
             | M1b { src; bal = b; vbal; vval } when b = bal ->
@@ -212,47 +254,55 @@ let phase2as cfg st =
 
 (* Receive a 2a: adopt and accept. *)
 let deliver_2as cfg st =
+  let ps = List.init cfg.n Fun.id in
   Msgset.fold
     (fun m acc ->
       match m with
       | M2a { bal; value } ->
-          List.filter_map
-            (fun p ->
+          List.fold_left
+            (fun acc p ->
               let proc = st.procs.(p) in
-              if bal < proc.mbal then None
+              if bal < proc.mbal then acc
               else begin
                 let st =
                   with_proc st p { proc with mbal = bal; vbal = bal; vval = value }
                 in
-                add_msg st (M2b { src = p; bal; value })
+                match add_msg st (M2b { src = p; bal; value }) with
+                | Some st' -> st' :: acc
+                | None -> acc
               end)
-            (List.init cfg.n Fun.id)
-          @ acc
+            acc ps
       | _ -> acc)
     st.msgs []
 
-(* Decide on a majority of matching 2b messages. *)
+(* Same key order as the polymorphic compare on int pairs, made
+   monomorphic (lint R6). *)
+let compare_int_pair (b1, v1) (b2, v2) =
+  let c = Int.compare b1 b2 in
+  if c <> 0 then c else Int.compare v1 v2
+
+(* Decide on a majority of matching 2b messages.  Senders are grouped by
+   (ballot, value) in a single pass over the message set — the old code
+   re-scanned all messages once per candidate pair.  Set membership makes
+   (src, bal, value) unique, so each group's sender list is distinct
+   without a membership test. *)
 let decides cfg st =
-  let candidates =
-    Msgset.fold
-      (fun m acc ->
-        match m with
-        | M2b { bal; value; _ } ->
-            if List.mem (bal, value) acc then acc else (bal, value) :: acc
-        | _ -> acc)
-      st.msgs []
-  in
+  let groups : (int * int, int list) Hashtbl.t = Hashtbl.create 16 in
+  Msgset.iter
+    (fun m ->
+      match m with
+      | M2b { src; bal; value } ->
+          let prev =
+            match Hashtbl.find_opt groups (bal, value) with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace groups (bal, value) (src :: prev)
+      | _ -> ())
+    st.msgs;
+  let ps = List.init cfg.n Fun.id in
   List.concat_map
-    (fun (bal, value) ->
-      let senders =
-        Msgset.fold
-          (fun m acc ->
-            match m with
-            | M2b { src; bal = b; value = v } when b = bal && v = value ->
-                if List.mem src acc then acc else src :: acc
-            | _ -> acc)
-          st.msgs []
-      in
+    (fun ((_bal, value), senders) ->
       if List.length senders < majority cfg.n then []
       else
         List.filter_map
@@ -260,8 +310,8 @@ let decides cfg st =
             let proc = st.procs.(p) in
             if proc.decided >= 0 then None
             else Some (with_proc st p { proc with decided = value }))
-          (List.init cfg.n Fun.id))
-    candidates
+          ps)
+    (Sim.Sorted_tbl.bindings ~compare:compare_int_pair groups)
 
 let successors cfg st =
   announces cfg st @ start_phase1s cfg st @ deliver_1as cfg st

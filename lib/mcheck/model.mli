@@ -51,6 +51,25 @@ val initial : config -> state
 (** All states reachable in one step. *)
 val successors : config -> state -> state list
 
+(** {2 State identity}
+
+    [Set.t] values are not canonical (equal sets can differ in AVL
+    shape), so states must never be compared or hashed structurally. *)
+
+(** Canonical structural key: equal states map to equal, structurally
+    comparable values.  This is the exact-mode visited key (and the one
+    witness states are compared with in tests). *)
+val key : state -> proc list * msg list
+
+(** [fold_canonical f acc st] folds [f] over a canonical,
+    prefix-decodable word encoding of [st]: equal states yield equal
+    word streams, distinct states distinct streams. *)
+val fold_canonical : ('a -> int -> 'a) -> 'a -> state -> 'a
+
+(** 128-bit fingerprint of the canonical encoding — the compact visited
+    key ({!Fingerprint} documents the collision-risk argument). *)
+val fingerprint : state -> Fingerprint.t
+
 (** {2 Properties} *)
 
 (** No two processes decided different values. *)

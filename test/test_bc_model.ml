@@ -2,10 +2,6 @@
    counterpart of the hand-written safety argument behind our Section 5
    reconstruction (see lib/bconsensus/modified_b_consensus.mli). *)
 
-let key_of (st : Mcheck.Bc_model.state) =
-  ( Array.to_list st.Mcheck.Bc_model.procs,
-    Mcheck.Bc_model.Msgset.elements st.Mcheck.Bc_model.msgs )
-
 let cfg ?mutation ?(proposals = [| 10; 20; 30 |]) ?(max_round = 1) () =
   { Mcheck.Bc_model.n = 3; proposals; max_round; mutation }
 
@@ -13,7 +9,8 @@ let explore ?(max_depth = 10) ?(max_states = 500_000) cfg properties =
   Mcheck.Explore.run
     ~initial:(Mcheck.Bc_model.initial cfg)
     ~successors:(Mcheck.Bc_model.successors cfg)
-    ~key:key_of ~properties ~max_depth ~max_states
+    ~fingerprint:Mcheck.Bc_model.fingerprint ~key:Mcheck.Bc_model.key
+    ~properties ~max_depth ~max_states ()
 
 let all_props cfg =
   [

@@ -1,0 +1,281 @@
+(* The generic layered-BFS engine (lib/mcheck/explore) and the 128-bit
+   fingerprints its visited set is keyed on.
+
+   The load-bearing properties here:
+   - bound semantics: every discovered state is property-checked before
+     the state cap or depth bound drops it (the cap once silently
+     swallowed the witness);
+   - determinism: serial (domains = 1) and parallel (domains = 4) runs
+     produce identical outcomes — including the same first witness —
+     for randomized configurations of both protocol models;
+   - fingerprint soundness: exact-keys mode observes zero collisions on
+     the real state spaces. *)
+
+(* --- a toy chain: state = i, succ i = [i+1] -------------------------- *)
+
+let int_fp i =
+  Mcheck.Fingerprint.finish (Mcheck.Fingerprint.add_int Mcheck.Fingerprint.empty i)
+
+let chain ?(domains = 1) ?(exact_keys = false) ~max_depth ~max_states properties
+    =
+  Mcheck.Explore.run ~domains ~exact_keys ~initial:0
+    ~successors:(fun i -> [ i + 1 ])
+    ~fingerprint:int_fp ~key:Fun.id ~properties ~max_depth ~max_states ()
+
+let test_cap_checks_before_drop () =
+  (* regression: the state arriving exactly at the cap must still be
+     property-checked (it used to be dropped unchecked while its edge
+     counted) *)
+  let o =
+    chain ~max_depth:100 ~max_states:2 [ ("small", fun i -> i < 2) ]
+  in
+  Alcotest.(check int) "stored states" 2 o.Mcheck.Explore.states;
+  Alcotest.(check int) "edges of expanded levels" 2 o.Mcheck.Explore.transitions;
+  Alcotest.(check bool) "incomplete" false o.Mcheck.Explore.complete;
+  Alcotest.(check bool) "the dropped state is the witness" true
+    (match o.Mcheck.Explore.violation with
+    | Some ("small", 2) -> true
+    | _ -> false)
+
+let test_cap_gates_storage_only () =
+  let o = chain ~max_depth:100 ~max_states:3 [ ("true", fun _ -> true) ] in
+  Alcotest.(check int) "stored states" 3 o.Mcheck.Explore.states;
+  Alcotest.(check int) "edges" 3 o.Mcheck.Explore.transitions;
+  Alcotest.(check bool) "incomplete" false o.Mcheck.Explore.complete;
+  Alcotest.(check bool) "no violation" true
+    (Option.is_none o.Mcheck.Explore.violation)
+
+let test_depth_bound_stores_and_checks () =
+  (* states at the depth bound are stored and checked, not expanded *)
+  let o = chain ~max_depth:2 ~max_states:1000 [ ("true", fun _ -> true) ] in
+  Alcotest.(check int) "0,1,2 stored" 3 o.Mcheck.Explore.states;
+  Alcotest.(check int) "two expanded levels" 2 o.Mcheck.Explore.transitions;
+  Alcotest.(check bool) "incomplete" false o.Mcheck.Explore.complete;
+  let o = chain ~max_depth:2 ~max_states:1000 [ ("small", fun i -> i < 2) ] in
+  Alcotest.(check bool) "frontier state at the bound is checked" true
+    (match o.Mcheck.Explore.violation with
+    | Some ("small", 2) -> true
+    | _ -> false)
+
+let test_exhaustive_small () =
+  let o =
+    Mcheck.Explore.run ~initial:0
+      ~successors:(fun i -> if i < 4 then [ i + 1 ] else [])
+      ~fingerprint:int_fp ~key:Fun.id
+      ~properties:[ ("true", fun _ -> true) ]
+      ~max_depth:100 ~max_states:1000 ()
+  in
+  Alcotest.(check int) "five states" 5 o.Mcheck.Explore.states;
+  Alcotest.(check int) "four edges" 4 o.Mcheck.Explore.transitions;
+  Alcotest.(check bool) "complete" true o.Mcheck.Explore.complete;
+  Alcotest.(check bool) "no collision count outside exact mode" true
+    (Option.is_none o.Mcheck.Explore.collisions);
+  Alcotest.(check bool) "table footprint measured" true
+    (o.Mcheck.Explore.table_words > 0)
+
+(* --- fingerprints ---------------------------------------------------- *)
+
+let test_fingerprint_basics () =
+  let fp_of xs =
+    Mcheck.Fingerprint.finish
+      (List.fold_left Mcheck.Fingerprint.add_int Mcheck.Fingerprint.empty xs)
+  in
+  Alcotest.(check bool) "deterministic" true
+    (Mcheck.Fingerprint.equal (fp_of [ 1; 2; 3 ]) (fp_of [ 1; 2; 3 ]));
+  Alcotest.(check bool) "order-sensitive" false
+    (Mcheck.Fingerprint.equal (fp_of [ 1; 2 ]) (fp_of [ 2; 1 ]));
+  Alcotest.(check bool) "length-sensitive" false
+    (Mcheck.Fingerprint.equal (fp_of [ 1 ]) (fp_of [ 1; 0 ]));
+  Alcotest.(check int) "hex is 128 bits" 32
+    (String.length (Mcheck.Fingerprint.to_hex (fp_of [ 42 ])));
+  Alcotest.(check int) "compare agrees with equal" 0
+    (Mcheck.Fingerprint.compare (fp_of [ 5 ]) (fp_of [ 5 ]))
+
+let test_fingerprint_no_collisions_smoke () =
+  (* 100k single-word inputs: all fingerprints distinct *)
+  let tbl = Mcheck.Fingerprint.Tbl.create 1024 in
+  for i = 0 to 99_999 do
+    Mcheck.Fingerprint.Tbl.replace tbl (int_fp i) ()
+  done;
+  Alcotest.(check int) "distinct" 100_000 (Mcheck.Fingerprint.Tbl.length tbl)
+
+let test_model_fingerprint_matches_key () =
+  (* over a real BFS prefix, fingerprint equality coincides with
+     structural-key equality: exact-keys mode reports zero collisions *)
+  let c = { Mcheck.Model.n = 3; proposals = [| 10; 20; 30 |]; max_session = 1;
+            gate = true }
+  in
+  let o =
+    Mcheck.Explorer.run ~max_depth:6 ~exact_keys:true c ~max_states:500_000
+      ~properties:(Mcheck.Explorer.all_properties c)
+  in
+  Alcotest.(check (option int)) "no paxos collisions" (Some 0)
+    o.Mcheck.Explorer.collisions;
+  let bc = { Mcheck.Bc_model.n = 3; proposals = [| 10; 20; 30 |];
+             max_round = 1; mutation = None }
+  in
+  let o =
+    Mcheck.Explore.run ~exact_keys:true
+      ~initial:(Mcheck.Bc_model.initial bc)
+      ~successors:(Mcheck.Bc_model.successors bc)
+      ~fingerprint:Mcheck.Bc_model.fingerprint ~key:Mcheck.Bc_model.key
+      ~properties:[ ("agreement", Mcheck.Bc_model.agreement) ]
+      ~max_depth:7 ~max_states:500_000 ()
+  in
+  Alcotest.(check (option int)) "no bc collisions" (Some 0)
+    o.Mcheck.Explore.collisions
+
+(* --- serial vs parallel determinism (randomized configs) ------------- *)
+
+(* Small state caps are deliberately included so the `Full path (the cap
+   semantics above) is exercised under parallel merge too. *)
+
+type pcase = { gate : bool; sessions : int; depth : int; cap : int; prop : int }
+
+let paxos_proposals = [| [| 10; 20; 30 |]; [| 10; 10; 20 |]; [| 7; 7; 7 |] |]
+
+let pcase_gen =
+  QCheck.Gen.(
+    let* gate = bool in
+    let* sessions = int_range 1 2 in
+    let* depth = int_range 3 6 in
+    let* cap = oneofl [ 40; 700; 500_000 ] in
+    let* prop = int_range 0 (Array.length paxos_proposals - 1) in
+    return { gate; sessions; depth; cap; prop })
+
+let pcase_print c =
+  Printf.sprintf "{gate=%b; sessions=%d; depth=%d; cap=%d; prop=%d}" c.gate
+    c.sessions c.depth c.cap c.prop
+
+let pcase_arb = QCheck.make ~print:pcase_print pcase_gen
+
+let paxos_summary (o : Mcheck.Explorer.outcome) =
+  ( o.states,
+    o.transitions,
+    o.complete,
+    Option.map (fun (name, st) -> (name, Mcheck.Model.key st)) o.violation )
+
+let prop_paxos_serial_parallel =
+  QCheck.Test.make ~name:"paxos: domains=1 and domains=4 agree" ~count:15
+    pcase_arb (fun c ->
+      let cfg =
+        { Mcheck.Model.n = 3; proposals = paxos_proposals.(c.prop);
+          max_session = c.sessions; gate = c.gate }
+      in
+      let props =
+        if c.gate then Mcheck.Explorer.all_properties cfg
+        else Mcheck.Explorer.safety_properties cfg
+      in
+      let run domains =
+        paxos_summary
+          (Mcheck.Explorer.run ~max_depth:c.depth ~domains cfg
+             ~max_states:c.cap ~properties:props)
+      in
+      run 1 = run 4)
+
+type bcase = { mutate : bool; rounds : int; bdepth : int; bcap : int }
+
+let bcase_gen =
+  QCheck.Gen.(
+    let* mutate = bool in
+    let* rounds = int_range 1 2 in
+    let* bdepth = int_range 3 6 in
+    let* bcap = oneofl [ 40; 700; 500_000 ] in
+    return { mutate; rounds; bdepth; bcap })
+
+let bcase_print c =
+  Printf.sprintf "{mutate=%b; rounds=%d; depth=%d; cap=%d}" c.mutate c.rounds
+    c.bdepth c.bcap
+
+let bcase_arb = QCheck.make ~print:bcase_print bcase_gen
+
+let bc_run ~domains ~cfg ~max_depth ~max_states props =
+  let o =
+    Mcheck.Explore.run ~domains
+      ~initial:(Mcheck.Bc_model.initial cfg)
+      ~successors:(Mcheck.Bc_model.successors cfg)
+      ~fingerprint:Mcheck.Bc_model.fingerprint ~key:Mcheck.Bc_model.key
+      ~properties:props ~max_depth ~max_states ()
+  in
+  ( o.Mcheck.Explore.states,
+    o.Mcheck.Explore.transitions,
+    o.Mcheck.Explore.complete,
+    Option.map
+      (fun (name, st) -> (name, Mcheck.Bc_model.key st))
+      o.Mcheck.Explore.violation )
+
+let prop_bc_serial_parallel =
+  QCheck.Test.make ~name:"b-consensus: domains=1 and domains=4 agree"
+    ~count:15 bcase_arb (fun c ->
+      let cfg =
+        { Mcheck.Bc_model.n = 3; proposals = [| 10; 20; 30 |];
+          max_round = c.rounds;
+          mutation =
+            (if c.mutate then Some Mcheck.Bc_model.Lock_on_first_report
+             else None) }
+      in
+      let props =
+        [
+          ("agreement", Mcheck.Bc_model.agreement);
+          ("lock-uniqueness", Mcheck.Bc_model.lock_uniqueness);
+        ]
+      in
+      let run domains =
+        bc_run ~domains ~cfg ~max_depth:c.bdepth ~max_states:c.bcap props
+      in
+      run 1 = run 4)
+
+let test_first_witness_deterministic () =
+  (* a seeded violation (the planted lock bug) must yield the same first
+     witness — BFS discovery order — serially, in parallel, and across
+     repeated runs *)
+  let cfg =
+    { Mcheck.Bc_model.n = 3; proposals = [| 10; 20; 30 |]; max_round = 1;
+      mutation = Some Mcheck.Bc_model.Lock_on_first_report }
+  in
+  let props = [ ("lock-uniqueness", Mcheck.Bc_model.lock_uniqueness) ] in
+  let run domains =
+    bc_run ~domains ~cfg ~max_depth:8 ~max_states:500_000 props
+  in
+  let _, _, _, w1 = run 1 in
+  Alcotest.(check bool) "violation found" true (Option.is_some w1);
+  Alcotest.(check bool) "serial re-run: same witness" true (run 1 = run 1);
+  Alcotest.(check bool) "parallel: same witness" true (run 1 = run 4)
+
+let test_registry_counters () =
+  let reg = Sim.Registry.create () in
+  let c = { Mcheck.Model.n = 3; proposals = [| 10; 20; 30 |]; max_session = 1;
+            gate = true }
+  in
+  let o =
+    Mcheck.Explorer.run ~max_depth:4 ~registry:reg c ~max_states:500_000
+      ~properties:(Mcheck.Explorer.all_properties c)
+  in
+  (* every stored state passes through exactly one frontier level *)
+  Alcotest.(check int) "frontier states = stored states"
+    o.Mcheck.Explorer.states
+    (Sim.Registry.counter_total reg "mcheck_frontier_states");
+  Alcotest.(check int) "levels = depth levels entered" 5
+    (Sim.Registry.counter_total reg "mcheck_frontier_levels")
+
+let suite =
+  [
+    Alcotest.test_case "cap: witness checked before drop" `Quick
+      test_cap_checks_before_drop;
+    Alcotest.test_case "cap gates storage only" `Quick
+      test_cap_gates_storage_only;
+    Alcotest.test_case "depth bound stores and checks" `Quick
+      test_depth_bound_stores_and_checks;
+    Alcotest.test_case "exhaustive small space" `Quick test_exhaustive_small;
+    Alcotest.test_case "fingerprint basics" `Quick test_fingerprint_basics;
+    Alcotest.test_case "fingerprints: 100k distinct" `Quick
+      test_fingerprint_no_collisions_smoke;
+    Alcotest.test_case "exact-keys: zero collisions, both models" `Quick
+      test_model_fingerprint_matches_key;
+    Alcotest.test_case "first witness deterministic" `Quick
+      test_first_witness_deterministic;
+    Alcotest.test_case "frontier registry counters" `Quick
+      test_registry_counters;
+    QCheck_alcotest.to_alcotest prop_paxos_serial_parallel;
+    QCheck_alcotest.to_alcotest prop_bc_serial_parallel;
+  ]

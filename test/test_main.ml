@@ -19,6 +19,7 @@ let () =
       ("conformance", Test_conformance.suite);
       ("smr", Test_smr.suite);
       ("model-check", Test_mcheck.suite);
+      ("model-check-engine", Test_explore.suite);
       ("model-check-bc", Test_bc_model.suite);
       ("realtime", Test_realtime.suite);
       ("harness", Test_harness.suite);
