@@ -16,7 +16,9 @@
 
    A third section benchmarks the model checker itself (layered-BFS
    throughput, visited-table footprint, serial-vs-parallel speedup);
-   its numbers land in BENCH_RESULTS.json as mcheck_*. *)
+   its numbers land in BENCH_RESULTS.json as mcheck_*.  A fourth runs a
+   seeded fault-injection fuzz campaign over the default protocol mix;
+   its throughput and counters land as fuzz_*. *)
 
 open Bechamel
 
@@ -384,10 +386,11 @@ let json_float f =
 let json_opt_float = function Some f -> json_float f | None -> "null"
 
 let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
-    ~mcheck ~invariants_ok ~lint =
+    ~mcheck ~fuzz ~invariants_ok ~lint =
   let mc_states, mc_wall, mc_states_per_s, mc_visited_mb, mc_speedup =
     mcheck
   in
+  let fuzz_runs, fuzz_wall, fuzz_runs_per_s, fuzz_failures = fuzz in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -406,6 +409,10 @@ let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
   p "  \"mcheck_states_per_s\": %s,\n" (json_float mc_states_per_s);
   p "  \"mcheck_visited_mb\": %s,\n" (json_float mc_visited_mb);
   p "  \"mcheck_speedup\": %s,\n" (json_opt_float mc_speedup);
+  p "  \"fuzz_runs\": %d,\n" fuzz_runs;
+  p "  \"fuzz_wall_clock_s\": %s,\n" (json_float fuzz_wall);
+  p "  \"fuzz_runs_per_s\": %s,\n" (json_float fuzz_runs_per_s);
+  p "  \"fuzz_failures\": %d,\n" fuzz_failures;
   p "  \"trace_invariants_ok\": %b,\n" invariants_ok;
   (match lint with
   | Some (lint_ok, findings) ->
@@ -541,6 +548,32 @@ let () =
       | None -> "");
     (o.Mcheck.Explorer.states, mc_wall, states_per_s, visited_mb, speedup)
   in
+  (* Fuzzer throughput: a seeded campaign over the default protocol mix
+     (the same workload `consensus_sim fuzz` runs).  Its counters land
+     in the shared registry as fuzz_*; a healthy tree reports zero
+     failures here. *)
+  let fuzz =
+    let budget =
+      match speed with Harness.Experiments.Full -> 1000 | Quick -> 200
+    in
+    let summary, fz_wall =
+      time (fun () -> Harness.Fuzz.campaign ~budget ~seed:42L ())
+    in
+    Harness.Fuzz.register_metrics metrics summary;
+    let runs_per_s =
+      if fz_wall > 0. then float_of_int summary.Harness.Fuzz.runs /. fz_wall
+      else 0.
+    in
+    Format.printf
+      "fuzz: %d runs in %.1fs (%.0f runs/s, %d failure%s, %d domain%s)@."
+      summary.Harness.Fuzz.runs fz_wall runs_per_s
+      summary.Harness.Fuzz.failures
+      (if summary.Harness.Fuzz.failures = 1 then "" else "s")
+      domains
+      (if domains = 1 then "" else "s");
+    (summary.Harness.Fuzz.runs, fz_wall, runs_per_s,
+     summary.Harness.Fuzz.failures)
+  in
   (* Static-analysis verdict alongside the dynamic one: the same pass
      `consensus_sim lint` runs, against the checked-in baseline.  [None]
      when the sources are not on disk (e.g. an installed binary). *)
@@ -564,5 +597,5 @@ let () =
   | None -> Format.printf "lint: skipped (no source tree)@.");
   let path = "BENCH_RESULTS.json" in
   write_results ~path ~speed:speed_name ~domains ~wall ~serial_wall ~micro
-    ~metrics ~mcheck ~invariants_ok ~lint;
+    ~metrics ~mcheck ~fuzz ~invariants_ok ~lint;
   Format.printf "(wrote %s)@." path

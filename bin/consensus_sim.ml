@@ -9,10 +9,14 @@
      consensus-sim trace --import e1.jsonl
      consensus-sim lint            # determinism/hygiene pass over the tree
      consensus-sim lint --list-rules
+     consensus-sim fuzz --budget 200 --seed 1 --domains 4
+     consensus-sim fuzz --protocol ungated-paxos --save-corpus test/corpus
+     consensus-sim replay test/corpus/liveness-fuzz-1-17.json
      consensus-sim list
 
    Exit codes: 0 success; 1 domain failure (lint findings, trace-invariant
-   violation); 123..125 are cmdliner's usage/internal errors. *)
+   violation, fuzz campaign found violations, corpus replay did not
+   reproduce); 123..125 are cmdliner's usage/internal errors. *)
 
 open Cmdliner
 
@@ -1073,6 +1077,150 @@ let realtime_cmd =
     Term.(const realtime_impl $ proto_arg $ n_arg $ delta_rt $ ts_rt $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz / replay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_impl budget seed domains protocol corpus_dir =
+  (* lint: allow R1 — elapsed-time display for the operator, not part
+     of any simulated run *)
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    match domains with
+    | Some d -> d
+    | None -> Harness.Measure.domain_count ()
+  in
+  let protocol =
+    Option.map
+      (fun s ->
+        match Harness.Fuzz_scenario.protocol_of_name s with
+        | Some p -> p
+        | None ->
+            failwith
+              (Printf.sprintf "unknown protocol %S (try: %s)" s
+                 (String.concat ", "
+                    (List.map Harness.Fuzz_scenario.protocol_name
+                       Harness.Fuzz_scenario.protocols))))
+      protocol
+  in
+  (* Everything on stdout is a pure function of (budget, seed, protocol)
+     — identical at any --domains; wall-clock and pool size go to stderr
+     so stdout can be diffed across domain counts. *)
+  let summary =
+    Harness.Measure.with_domains domains (fun () ->
+        Harness.Fuzz.campaign ?protocol ~budget ~seed ())
+  in
+  Format.printf "%a" Harness.Fuzz.pp_summary summary;
+  (match corpus_dir with
+  | Some dir ->
+      List.iter
+        (fun cx ->
+          let path =
+            Harness.Fuzz.save_entry ~dir
+              (Harness.Fuzz.entry_of_counterexample cx)
+          in
+          Format.printf "saved %s@." path)
+        summary.Harness.Fuzz.counterexamples
+  | None -> ());
+  (* lint: allow R1 — elapsed-time display for the operator *)
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Format.eprintf "(%d domain%s, %.1fs)@." domains
+    (if domains = 1 then "" else "s")
+    elapsed;
+  if summary.Harness.Fuzz.failures > 0 then exit 1
+
+let fuzz_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "budget" ] ~docv:"N" ~doc:"Number of scenarios to generate.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains for the campaign (default: $(b,SIM_DOMAINS) or \
+             the recommended domain count).  The summary is identical at \
+             any value; 1 runs fully serial.")
+  in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ; "p" ] ~docv:"P"
+          ~doc:
+            "Fuzz only this protocol.  Default: a mix of every correct \
+             implementation; $(b,ungated-paxos) (the A1 ablation, broken \
+             by design) is only fuzzed when named here.")
+  in
+  let corpus_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-corpus" ] ~docv:"DIR"
+          ~doc:
+            "Write each shrunk counterexample as a corpus JSON file into \
+             DIR (see test/corpus/README.md).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Run a seeded fault-injection campaign: random admissible \
+          scenarios (crashes, restarts, losses, partitions, duplication, \
+          reordering, clock drift, obsolete-message injections) checked \
+          against the trace invariants and a liveness deadline; every \
+          violation is shrunk to a minimal counterexample."
+       ~exits:
+         (Cmd.Exit.info 1 ~doc:"when the campaign found violations."
+         :: Cmd.Exit.defaults))
+    Term.(
+      const fuzz_impl $ budget_arg $ seed_arg $ domains_arg $ protocol_arg
+      $ corpus_arg)
+
+let replay_impl paths =
+  if paths = [] then
+    failwith "replay: give at least one corpus file (test/corpus/*.json)";
+  let ok =
+    List.fold_left
+      (fun ok path ->
+        match Harness.Fuzz.load_entry path with
+        | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+        | Ok entry -> (
+            match Harness.Fuzz.replay entry with
+            | Ok o ->
+                Format.printf
+                  "%s: reproduced %s (%a; %d events, %d decided)@." path
+                  entry.Harness.Fuzz.check Harness.Fuzz_scenario.pp
+                  entry.Harness.Fuzz.scenario o.Harness.Fuzz.events
+                  o.Harness.Fuzz.decided;
+                ok
+            | Error (saw, _) ->
+                Format.printf "%s: NOT reproduced — expected %s, saw %s@."
+                  path entry.Harness.Fuzz.check saw;
+                false))
+      true paths
+  in
+  if not ok then exit 1
+
+let replay_cmd =
+  let paths_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Corpus files to re-execute.")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute fuzzer counterexamples from corpus files and check \
+          that each still violates its recorded invariant."
+       ~exits:
+         (Cmd.Exit.info 1
+            ~doc:"when a file no longer reproduces its violation."
+         :: Cmd.Exit.defaults))
+    Term.(const replay_impl $ paths_arg)
+
+(* ------------------------------------------------------------------ *)
 (* list                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1100,6 +1248,8 @@ let main =
       experiment_cmd;
       trace_cmd;
       lint_cmd;
+      fuzz_cmd;
+      replay_cmd;
       sweep_cmd;
       check_cmd;
       realtime_cmd;

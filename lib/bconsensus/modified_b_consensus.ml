@@ -29,7 +29,9 @@ type config = { n : int; tuning : tuning; hold_local : float }
    round behind jumps instead.) *)
 type prev_round = {
   pr_round : int;
-  pr_first : Types.value;  (* the estimate we wabcast in that round *)
+  pr_first : Types.value option;
+      (* the estimate we wabcast in that round — [None] if we entered it
+         by jumping and so never contributed a First *)
   pr_report : Types.value option;
   pr_lock : Types.value option option;  (* None = never locked *)
 }
@@ -43,6 +45,10 @@ type state = {
      lets a process that jumps report immediately on round entry *)
   delivered_firsts : (int * Types.value) list;
   (* current-round stage bookkeeping *)
+  first_sent : bool;
+      (* whether we wabcast our estimate into this round: true when we
+         entered it through the lock phase (or at boot), false when we
+         jumped in *)
   reported : bool;
   stage2_value : Types.value option;  (* value we reported this round *)
   reports : (Types.proc_id * Types.value) list;
@@ -102,10 +108,13 @@ let maybe_lock ctx st =
 
 let rec enter_round ctx st r =
   assert (r > st.round);
+  (* [r = st.round + 1] is round completion (the only call site is the
+     lock phase); anything further is a jump. *)
+  let jumped = r > st.round + 1 in
   let left =
     {
       pr_round = st.round;
-      pr_first = st.est;
+      pr_first = (if st.first_sent then Some st.est else None);
       pr_report = (if st.reported then st.stage2_value else None);
       pr_lock = (if st.locked then Some st.lock_value else None);
     }
@@ -119,6 +128,7 @@ let rec enter_round ctx st r =
       round = r;
       delivered_firsts =
         List.filter (fun (rr, _) -> rr >= r) st.delivered_firsts;
+      first_sent = not jumped;
       reported = false;
       stage2_value = None;
       reports = [];
@@ -128,7 +138,19 @@ let rec enter_round ctx st r =
       history;
     }
   in
-  let st = wabcast ctx st ~round:r ~value:st.est in
+  (* A jumper must not inject its estimate into a round it did not reach
+     through the lock phase.  Once some round decides [v], every First
+     of a later round carries [v] — that is the agreement induction —
+     but a jumper's estimate predates the decision, and since stage 2
+     reports echo whichever First the oracle delivers {e first}, a
+     single stale First can win the round at every process and overturn
+     the decided value.  Entering by completion is safe: stage 4 just
+     set [est] from a lock majority that intersects every decision
+     quorum.  The jumper still reports, locks and finishes the round —
+     at which point its estimate is sanctioned and it speaks again. *)
+  let st =
+    if jumped then st else wabcast ctx st ~round:r ~value:st.est
+  in
   (* A First of this round may already have been oracle-delivered while
      we were behind: report it now. *)
   maybe_report ctx st
@@ -241,8 +263,13 @@ let on_message_impl ctx st ~src msg =
 
 let retransmit ctx st =
   (* Current round, every epsilon: processes silenced before TS complete
-     the round within O(delta) of stabilization. *)
-  let st = wabcast ctx st ~round:st.round ~value:st.est in
+     the round within O(delta) of stabilization.  A jumper keeps its
+     silence in stage 1 (see [enter_round]) — repeating its stale
+     estimate here would reopen the same hole. *)
+  let st =
+    if st.first_sent then wabcast ctx st ~round:st.round ~value:st.est
+    else st
+  in
   (match st.stage2_value with
   | Some v when st.reported ->
       Engine.broadcast ctx (Bc_messages.Report { round = st.round; value = v })
@@ -255,7 +282,11 @@ let retransmit ctx st =
      jumping, all of them, since a straggler must execute every round. *)
   List.fold_left
     (fun st p ->
-      let st = wabcast ctx st ~round:p.pr_round ~value:p.pr_first in
+      let st =
+        match p.pr_first with
+        | Some v -> wabcast ctx st ~round:p.pr_round ~value:v
+        | None -> st
+      in
       (match p.pr_report with
       | Some v ->
           Engine.broadcast ctx
@@ -289,6 +320,7 @@ let initial_state ctx cfg =
       Ordering_oracle.create ~owner:(Engine.self ctx)
         ~hold_local:cfg.hold_local;
     delivered_firsts = [];
+    first_sent = true;
     reported = false;
     stage2_value = None;
     reports = [];

@@ -871,8 +871,11 @@ let a3 ?(speed = Quick) () =
     (* probe: how many rounds did the majority group burn through? *)
     let probe =
       Sim.Engine.run
+        (* stop at the heal instant: the horizon sits a hair above [ts']
+           (validation requires horizon > ts), far below the minimum
+           post-heal delivery delay of [0.05 * delta] *)
         (Sim.Scenario.make ~name:"a3-probe" ~n ~ts:ts' ~delta ~seed:seed_base
-           ~network ~horizon:ts' ~stop_on_all_decided:false ())
+           ~network ~horizon:(ts' +. 1e-9) ~stop_on_all_decided:false ())
         proto
     in
     let rounds_behind =

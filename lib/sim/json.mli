@@ -1,0 +1,56 @@
+(** Minimal JSON values: print and parse without an external dependency.
+
+    {!Trace} keeps its own flat per-line format for speed; this module
+    exists for the {e nested} documents the fuzzer needs — network
+    specifications are trees and fault scripts are arrays, so corpus
+    files cannot be flat objects.  Numbers keep their raw lexeme so that
+    64-bit integers (seeds) round-trip exactly instead of being squeezed
+    through a float. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of string  (** raw lexeme, e.g. ["42"], ["-0.5"], ["1e-3"] *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** {2 Constructors} *)
+
+val int : int -> t
+
+val int64 : int64 -> t
+
+(** Finite floats print with enough digits to round-trip ([%.17g]). *)
+val float : float -> t
+
+(** {2 Accessors — [Error] names what was expected} *)
+
+val to_int : t -> (int, string) result
+
+val to_int64 : t -> (int64, string) result
+
+val to_float : t -> (float, string) result
+
+val to_string : t -> (string, string) result
+
+val to_list : t -> (t list, string) result
+
+(** [member k j] looks up key [k] in object [j]. *)
+val member : string -> t -> (t, string) result
+
+(** [member_opt k j] is [None] when [j] is an object without key [k]. *)
+val member_opt : string -> t -> t option
+
+(** {2 Printing and parsing} *)
+
+(** Compact one-line rendering. *)
+val print : t -> string
+
+(** Two-space-indented multi-line rendering (stable field order: objects
+    print in construction order). *)
+val print_pretty : t -> string
+
+(** Parse one JSON document (surrounding whitespace allowed).
+    [Error msg] includes the offending position. *)
+val parse : string -> (t, string) result

@@ -101,6 +101,18 @@ let with_duplication ~prob base =
   in
   { name = base.name ^ "+dup"; decide }
 
+let with_reordering ~window base =
+  if window < 0. then invalid_arg "Network.with_reordering: negative window";
+  let jitter rng d = d +. Prng.float rng window in
+  let decide rng ~now ~ts ~delta ~src ~dst =
+    match base.decide rng ~now ~ts ~delta ~src ~dst with
+    | d when now >= ts -> d
+    | Drop -> Drop
+    | Deliver_after d -> Deliver_after (jitter rng d)
+    | Deliver_copies ds -> Deliver_copies (List.map (jitter rng) ds)
+  in
+  { name = base.name ^ "+reorder"; decide }
+
 let with_hook ~name base hook =
   let decide rng ~now ~ts ~delta ~src ~dst =
     match hook ~now ~ts ~delta ~src ~dst with

@@ -78,6 +78,16 @@ val partitioned_until_ts : int list list -> t
     must tolerate it. *)
 val with_duplication : prob:float -> t -> t
 
+(** [with_reordering ~window base] perturbs the delivery of pre-[ts]
+    messages: each message [base] would deliver gets up to [window]
+    seconds of extra delay (uniform), so messages sent in one order may
+    arrive in another — but never more than [window] apart from their
+    base schedule.  Reordering pre-[ts] traffic is admissible: the model
+    allows those messages {e any} later delivery time.  Post-[ts]
+    messages are untouched (they must stay within [delta]).  Raises
+    [Invalid_argument] on a negative [window]. *)
+val with_reordering : window:float -> t -> t
+
 (** [with_hook ~name base hook] runs [hook] first; [hook] returns
     [Some d] to override the base policy, [None] to defer to it.  Used by
     experiments that need surgical control of specific edges. *)

@@ -1,0 +1,186 @@
+type t =
+  | Eventually_synchronous of { pre_loss : float; pre_delay_max : float option }
+  | Always_synchronous
+  | Silent_until_ts
+  | Deterministic_after_ts
+  | Partitioned_until_ts of int list list
+  | With_duplication of { prob : float; base : t }
+  | With_reordering of { window : float; base : t }
+
+let rec compile = function
+  | Eventually_synchronous { pre_loss; pre_delay_max } ->
+      Network.eventually_synchronous ~pre_loss ?pre_delay_max ()
+  | Always_synchronous -> Network.always_synchronous
+  | Silent_until_ts -> Network.silent_until_ts
+  | Deterministic_after_ts -> Network.deterministic_after_ts
+  | Partitioned_until_ts groups -> Network.partitioned_until_ts groups
+  | With_duplication { prob; base } ->
+      Network.with_duplication ~prob (compile base)
+  | With_reordering { window; base } ->
+      Network.with_reordering ~window (compile base)
+
+let name spec = (compile spec).Network.name
+
+let rec validate = function
+  | Eventually_synchronous { pre_loss; pre_delay_max } ->
+      if pre_loss < 0. || pre_loss > 1. then
+        Error "network: pre_loss not in [0,1]"
+      else if
+        match pre_delay_max with Some d -> d < 0. | None -> false
+      then Error "network: negative pre_delay_max"
+      else Ok ()
+  | Always_synchronous | Silent_until_ts | Deterministic_after_ts -> Ok ()
+  | Partitioned_until_ts groups ->
+      if List.exists (List.exists (fun p -> p < 0)) groups then
+        Error "network: negative process id in partition group"
+      else Ok ()
+  | With_duplication { prob; base } ->
+      if prob < 0. || prob > 1. then Error "network: dup prob not in [0,1]"
+      else validate base
+  | With_reordering { window; base } ->
+      if window < 0. then Error "network: negative reordering window"
+      else validate base
+
+let rec complexity = function
+  | Always_synchronous -> 0
+  | Silent_until_ts | Deterministic_after_ts -> 1
+  | Eventually_synchronous _ -> 2
+  | Partitioned_until_ts groups -> 1 + List.length groups
+  | With_duplication { base; _ } | With_reordering { base; _ } ->
+      1 + complexity base
+
+(* Strictly simpler candidates, most aggressive first: the shrinker
+   tries them in order and keeps the first that still reproduces. *)
+let rec shrink = function
+  | Always_synchronous -> []
+  | Silent_until_ts | Deterministic_after_ts -> [ Always_synchronous ]
+  | Eventually_synchronous { pre_loss; pre_delay_max } ->
+      [ Always_synchronous; Silent_until_ts ]
+      @ (if pre_loss > 0. then
+           [ Eventually_synchronous { pre_loss = 0.; pre_delay_max } ]
+         else [])
+      @
+      if pre_delay_max <> None then
+        [ Eventually_synchronous { pre_loss; pre_delay_max = None } ]
+      else []
+  | Partitioned_until_ts groups ->
+      Always_synchronous
+      :: List.map
+           (fun dropped ->
+             Partitioned_until_ts
+               (List.filteri (fun i _ -> i <> dropped) groups))
+           (List.init (List.length groups) Fun.id)
+  | With_duplication { prob; base } ->
+      (* unwrap first, then simplify underneath *)
+      base
+      :: List.map (fun b -> With_duplication { prob; base = b }) (shrink base)
+  | With_reordering { window; base } ->
+      base
+      :: List.map (fun b -> With_reordering { window; base = b }) (shrink base)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec to_json = function
+  | Eventually_synchronous { pre_loss; pre_delay_max } ->
+      Json.Obj
+        ([ ("kind", Json.Str "eventually-synchronous");
+           ("pre_loss", Json.float pre_loss);
+         ]
+        @
+        match pre_delay_max with
+        | Some d -> [ ("pre_delay_max", Json.float d) ]
+        | None -> [])
+  | Always_synchronous -> Json.Obj [ ("kind", Json.Str "always-synchronous") ]
+  | Silent_until_ts -> Json.Obj [ ("kind", Json.Str "silent-until-ts") ]
+  | Deterministic_after_ts ->
+      Json.Obj [ ("kind", Json.Str "deterministic-after-ts") ]
+  | Partitioned_until_ts groups ->
+      Json.Obj
+        [
+          ("kind", Json.Str "partitioned-until-ts");
+          ( "groups",
+            Json.Arr
+              (List.map (fun g -> Json.Arr (List.map Json.int g)) groups) );
+        ]
+  | With_duplication { prob; base } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "with-duplication");
+          ("prob", Json.float prob);
+          ("base", to_json base);
+        ]
+  | With_reordering { window; base } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "with-reordering");
+          ("window", Json.float window);
+          ("base", to_json base);
+        ]
+
+let ( let* ) = Result.bind
+
+let rec of_json j =
+  let* kind = Result.bind (Json.member "kind" j) Json.to_string in
+  match kind with
+  | "eventually-synchronous" ->
+      let* pre_loss = Result.bind (Json.member "pre_loss" j) Json.to_float in
+      let* pre_delay_max =
+        match Json.member_opt "pre_delay_max" j with
+        | None -> Ok None
+        | Some v -> Result.map Option.some (Json.to_float v)
+      in
+      Ok (Eventually_synchronous { pre_loss; pre_delay_max })
+  | "always-synchronous" -> Ok Always_synchronous
+  | "silent-until-ts" -> Ok Silent_until_ts
+  | "deterministic-after-ts" -> Ok Deterministic_after_ts
+  | "partitioned-until-ts" ->
+      let* groups = Result.bind (Json.member "groups" j) Json.to_list in
+      let* groups =
+        List.fold_left
+          (fun acc g ->
+            let* acc = acc in
+            let* items = Json.to_list g in
+            let* ids =
+              List.fold_left
+                (fun acc p ->
+                  let* acc = acc in
+                  let* p = Json.to_int p in
+                  Ok (p :: acc))
+                (Ok []) items
+            in
+            Ok (List.rev ids :: acc))
+          (Ok []) groups
+      in
+      Ok (Partitioned_until_ts (List.rev groups))
+  | "with-duplication" ->
+      let* prob = Result.bind (Json.member "prob" j) Json.to_float in
+      let* base = Result.bind (Json.member "base" j) of_json in
+      Ok (With_duplication { prob; base })
+  | "with-reordering" ->
+      let* window = Result.bind (Json.member "window" j) Json.to_float in
+      let* base = Result.bind (Json.member "base" j) of_json in
+      Ok (With_reordering { window; base })
+  | k -> Error (Printf.sprintf "unknown network kind %S" k)
+
+let pp fmt spec = Format.pp_print_string fmt (name spec)
+
+let rec equal a b =
+  match (a, b) with
+  | ( Eventually_synchronous { pre_loss = l1; pre_delay_max = d1 },
+      Eventually_synchronous { pre_loss = l2; pre_delay_max = d2 } ) ->
+      Float.equal l1 l2 && Option.equal Float.equal d1 d2
+  | Always_synchronous, Always_synchronous
+  | Silent_until_ts, Silent_until_ts
+  | Deterministic_after_ts, Deterministic_after_ts ->
+      true
+  | Partitioned_until_ts g1, Partitioned_until_ts g2 ->
+      List.equal (List.equal Int.equal) g1 g2
+  | ( With_duplication { prob = p1; base = b1 },
+      With_duplication { prob = p2; base = b2 } ) ->
+      Float.equal p1 p2 && equal b1 b2
+  | ( With_reordering { window = w1; base = b1 },
+      With_reordering { window = w2; base = b2 } ) ->
+      Float.equal w1 w2 && equal b1 b2
+  | _ -> false

@@ -1,0 +1,52 @@
+(** Declarative network descriptions.
+
+    {!Network.t} is a closure, which makes it fast but opaque: a
+    scenario holding one cannot be serialized, compared, or shrunk.
+    This module is the declarative counterpart — a plain data term that
+    {!compile}s to the equivalent {!Network.t} — giving scenarios a
+    lossless JSON form.  The fuzzer ({!Harness.Fuzz}) generates,
+    persists, and delta-debugs these terms; the combinators mirror the
+    admissible building blocks of {!Network} one to one. *)
+
+type t =
+  | Eventually_synchronous of { pre_loss : float; pre_delay_max : float option }
+      (** {!Network.eventually_synchronous}; [None] means its default
+          [4 delta] pre-stability delay ceiling *)
+  | Always_synchronous
+  | Silent_until_ts
+  | Deterministic_after_ts
+  | Partitioned_until_ts of int list list
+  | With_duplication of { prob : float; base : t }
+  | With_reordering of { window : float; base : t }
+      (** {!Network.with_reordering}: bounded extra delay (seconds) on
+          pre-[ts] deliveries *)
+
+(** Build the equivalent delivery policy.  Compiling twice yields
+    behaviourally identical policies (they share no state). *)
+val compile : t -> Network.t
+
+(** The compiled policy's display name, e.g.
+    ["eventually-synchronous+dup"]. *)
+val name : t -> string
+
+(** Parameter ranges: probabilities in [[0,1]], non-negative delays,
+    non-negative partition-group ids. *)
+val validate : t -> (unit, string) result
+
+(** Structural size (wrappers and partition groups count, the base
+    policies are free-ish) — the measure the shrinker must not grow. *)
+val complexity : t -> int
+
+(** Strictly simpler variants to try when shrinking, most aggressive
+    first: drop wrappers, zero probabilities, merge partitions.  Every
+    candidate has a smaller {!complexity} or fewer parameters. *)
+val shrink : t -> t list
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+val equal : t -> t -> bool
+
+(** Prints {!name}. *)
+val pp : Format.formatter -> t -> unit

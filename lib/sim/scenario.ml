@@ -51,10 +51,27 @@ let validate t =
   else if t.delta <= 0. then Error "delta must be positive"
   else if t.rho < 0. || t.rho >= 1. then Error "rho must be in [0, 1)"
   else if t.ts < 0. then Error "ts must be non-negative"
-  else if t.horizon < t.ts then Error "horizon precedes ts"
+  else if t.horizon <= t.ts then Error "horizon does not extend past ts"
   else if Array.length t.proposals <> t.n then
     Error "proposals array length differs from n"
-  else Fault.validate ~n:t.n t.faults
+  else
+    match Fault.validate ~n:t.n t.faults with
+    | Error _ as e -> e
+    | Ok () -> (
+        (* A fault scripted past the horizon can never execute; the
+           scenario author almost certainly mis-specified one of the
+           two, so reject rather than silently ignore the event. *)
+        match
+          List.find_opt
+            (fun { Fault.at; _ } -> at > t.horizon)
+            t.faults.Fault.events
+        with
+        | Some { Fault.at; proc; _ } ->
+            Error
+              (Printf.sprintf
+                 "fault event for process %d at %g falls past horizon %g"
+                 proc at t.horizon)
+        | None -> Ok ())
 
 let with_seed t seed = { t with seed }
 

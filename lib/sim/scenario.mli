@@ -46,8 +46,11 @@ val make :
   unit ->
   t
 
-(** Check internal consistency (n > 0, delta > 0, proposals length,
-    fault script validity, ...). *)
+(** Check internal consistency: [n > 0], [delta > 0],
+    [trace_capacity >= 0], [rho] in [[0,1)], [ts >= 0],
+    [horizon > ts] (a run must extend past stabilization), proposals
+    length [n], fault-script validity ({!Fault.validate}), and no fault
+    event scheduled past [horizon]. *)
 val validate : t -> (unit, string) result
 
 (** Same scenario, different seed — the unit of statistical replication. *)

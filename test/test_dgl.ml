@@ -183,9 +183,12 @@ let test_gate_pins_partitioned_minority () =
      never hears a majority cannot advance past session 1. *)
   let n = 7 in
   let sc =
+    (* Horizon a hair past TS: validate requires horizon > ts, and no
+       message or timer can fire within 1e-9 s, so the states observed
+       are still those at stabilization. *)
     Sim.Scenario.make ~name:"gate" ~n ~ts:10.0 ~delta ~seed:3L
       ~network:(Sim.Network.partitioned_until_ts [ [ 0; 1; 2; 3 ]; [ 4; 5; 6 ] ])
-      ~horizon:10.0 ~stop_on_all_decided:false ()
+      ~horizon:(10.0 +. 1e-9) ~stop_on_all_decided:false ()
   in
   let cfg = Dgl.Config.make ~n ~delta () in
   let r = Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg) in
@@ -212,7 +215,7 @@ let test_ungated_minority_races () =
   let sc =
     Sim.Scenario.make ~name:"ungated" ~n ~ts:10.0 ~delta ~seed:3L
       ~network:(Sim.Network.partitioned_until_ts [ [ 0; 1; 2; 3 ]; [ 4; 5; 6 ] ])
-      ~horizon:10.0 ~stop_on_all_decided:false ()
+      ~horizon:(10.0 +. 1e-9) ~stop_on_all_decided:false ()
   in
   let cfg = Dgl.Config.make ~n ~delta () in
   let options =

@@ -25,4 +25,5 @@ let () =
       ("harness", Test_harness.suite);
       ("invariants", Test_invariants.suite);
       ("lint", Test_lint.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

@@ -69,6 +69,24 @@ let test_scenario_validation () =
           ~faults:(Sim.Fault.make [ Sim.Fault.crash ~at:1. 9 ])
           ()))
 
+let test_scenario_validation_edges () =
+  let bad f = Sim.Scenario.validate f <> Ok () in
+  Alcotest.(check bool) "horizon = ts" true
+    (bad (Sim.Scenario.make ~n:3 ~ts:1. ~horizon:1. ()));
+  Alcotest.(check bool) "negative trace_capacity" true
+    (bad (Sim.Scenario.make ~n:3 ~trace_capacity:(-1) ()));
+  Alcotest.(check bool) "fault event past horizon" true
+    (bad
+       (Sim.Scenario.make ~n:3 ~ts:1. ~horizon:2.
+          ~faults:(Sim.Fault.make [ Sim.Fault.crash ~at:3. 0 ])
+          ()));
+  Alcotest.(check bool) "fault event at horizon accepted" true
+    (Sim.Scenario.validate
+       (Sim.Scenario.make ~n:3 ~ts:1. ~horizon:2.
+          ~faults:(Sim.Fault.make [ Sim.Fault.crash ~at:2. 0 ])
+          ())
+    = Ok ())
+
 let test_with_seed () =
   let sc = Sim.Scenario.make ~n:3 ~seed:1L () in
   let sc2 = Sim.Scenario.with_seed sc 9L in
@@ -118,6 +136,8 @@ let suite =
     Alcotest.test_case "stable storage" `Quick test_storage;
     Alcotest.test_case "scenario defaults" `Quick test_scenario_defaults;
     Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
+    Alcotest.test_case "scenario validation edges" `Quick
+      test_scenario_validation_edges;
     Alcotest.test_case "with_seed" `Quick test_with_seed;
     Alcotest.test_case "metrics basics" `Quick test_metrics_basic;
     Alcotest.test_case "metrics summary" `Quick test_metrics_summary;

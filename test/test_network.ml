@@ -125,6 +125,38 @@ let test_hook_override () =
   Alcotest.(check bool) "hook defers" true
     (decide p ~now:0.5 ~src:0 ~dst:0 1L = Sim.Network.Drop)
 
+let test_reordering () =
+  let window = 4. *. delta in
+  let base = Sim.Network.always_synchronous in
+  let p = Sim.Network.with_reordering ~window base in
+  for i = 1 to 200 do
+    let seed = Int64.of_int i in
+    (* Deterministic: equal seeds give equal decisions. *)
+    Alcotest.(check bool) "deterministic" true
+      (decide p ~now:0.5 ~src:0 ~dst:1 seed
+      = decide p ~now:0.5 ~src:0 ~dst:1 seed);
+    (* Pre-TS jitter is bounded by [window] relative to the base
+       schedule (the wrapper consumes the base's draws first, so the
+       same seed exposes the underlying delay). *)
+    (match
+       ( decide base ~now:0.5 ~src:0 ~dst:1 seed,
+         decide p ~now:0.5 ~src:0 ~dst:1 seed )
+     with
+    | Sim.Network.Deliver_after d0, Sim.Network.Deliver_after d ->
+        Alcotest.(check bool) "jitter within window" true
+          (d >= d0 && d <= d0 +. window)
+    | _ -> Alcotest.fail "always_synchronous must deliver singly");
+    (* Post-TS traffic is untouched: it must stay within delta. *)
+    Alcotest.(check bool) "post-TS untouched" true
+      (decide p ~now:1.5 ~src:0 ~dst:1 seed
+      = decide base ~now:1.5 ~src:0 ~dst:1 seed)
+  done;
+  Alcotest.(check bool) "negative window rejected" true
+    (try
+       ignore (Sim.Network.with_reordering ~window:(-1.) base);
+       false
+     with Invalid_argument _ -> true)
+
 let prop_post_ts_always_delivers =
   QCheck.Test.make ~name:"every policy is delta-bounded after TS" ~count:300
     QCheck.(pair int64 (pair (int_bound 9) (int_bound 9)))
@@ -160,5 +192,6 @@ let suite =
     Alcotest.test_case "partition policy" `Quick test_partition;
     Alcotest.test_case "duplication wrapper" `Quick test_duplication;
     Alcotest.test_case "hook override" `Quick test_hook_override;
+    Alcotest.test_case "reordering wrapper" `Quick test_reordering;
     QCheck_alcotest.to_alcotest prop_post_ts_always_delivers;
   ]
