@@ -260,9 +260,31 @@ let heap_churn () =
     | None -> ()
   done
 
-(* Same churn workload on the mutable binary heap that replaced the
-   pairing heap in the engine hot path. *)
+(* The engine's actual queue since the packed-event rework: five unboxed
+   int fields per event, int-compare ordering.  Keeps the historical
+   [substrate/event-queue-1k] name so BENCH_RESULTS.json trajectories
+   stay comparable — same 1k-churn workload.  The queue is reused across
+   runs ([clear], not [create]) because that is how the engine uses it:
+   one queue per simulation, millions of events; steady-state churn is
+   the quantity the packed rework optimizes. *)
+let event_queue_q = Sim.Packed_queue.create ()
+
 let event_queue_churn () =
+  let q = event_queue_q in
+  Sim.Packed_queue.clear q;
+  for i = 0 to 999 do
+    Sim.Packed_queue.add q
+      ~key:((i * 7919) mod 997)
+      ~ord:i ~f1:i ~f2:0 ~f3:0
+  done;
+  for _ = 0 to 999 do
+    ignore (Sim.Packed_queue.min_f1 q : int);
+    Sim.Packed_queue.drop_min q
+  done
+
+(* Same churn on the generic comparator-based binary heap (the queue the
+   packed one replaced; still used by non-engine callers). *)
+let generic_event_queue_churn () =
   let cmp (a1, i1) (a2, i2) =
     let c = Float.compare a1 a2 in
     if c <> 0 then c else Int.compare i1 i2
@@ -301,6 +323,8 @@ let cheap_cases =
   [
     Test.make ~name:"substrate/pairing-heap-1k" (Staged.stage heap_churn);
     Test.make ~name:"substrate/event-queue-1k" (Staged.stage event_queue_churn);
+    Test.make ~name:"substrate/generic-event-queue-1k"
+      (Staged.stage generic_event_queue_churn);
     Test.make ~name:"substrate/prng-1k" (Staged.stage prng_draws);
     Test.make ~name:"substrate/ordering-oracle-200" (Staged.stage oracle_churn);
   ]
@@ -362,6 +386,110 @@ let run_micro cases =
   print_newline ();
   rows
 
+(* --- engine throughput and allocation instruments -------------------- *)
+
+(* Steady-state engine speed over the hot-path token ring: n processes,
+   one message event each per delta of virtual time, tracing off, rng-free
+   network.  ~1M events per timed run, warmed up once so queue/arena
+   growth is excluded. *)
+let engine_stats () =
+  let sc = Harness.Hotpath.scenario ~n:100 ~horizon:100. () in
+  let events () =
+    (Sim.Engine.run sc Harness.Hotpath.pinger).Sim.Engine.events_processed
+  in
+  ignore (events () : int);
+  let t0 = Unix.gettimeofday () in
+  let e = events () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events_per_s = if wall > 0. then float_of_int e /. wall else 0. in
+  let words_per_event =
+    Harness.Hotpath.alloc_words_per_event Harness.Hotpath.pinger ~n:3
+      ~horizon_lo:1.0 ~horizon_hi:11.0
+  in
+  (* Whole-run allocation of a representative real workload: one
+     modified-paxos execution under the conformance scenario (RNG-drawing
+     network, tracing off), setup and boot/decide included. *)
+  let words_per_run =
+    let sc =
+      Sim.Scenario.make ~name:"bench-alloc" ~n:3 ~ts ~delta ~seed:42L
+        ~network:(Sim.Network.eventually_synchronous ())
+        ~horizon:(ts +. (500. *. delta))
+        ()
+    in
+    let cfg = Dgl.Config.make ~n:3 ~delta () in
+    let once () =
+      ignore
+        (Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg)
+          : _ Sim.Engine.run_result)
+    in
+    once ();
+    let w0 = Gc.minor_words () in
+    once ();
+    Gc.minor_words () -. w0
+  in
+  Printf.printf
+    "engine: %.2fM events/s; %.2f words/event steady-state, %.0f words per \
+     modified-paxos run\n\n\
+     %!"
+    (events_per_s /. 1e6) words_per_event words_per_run;
+  (events_per_s, words_per_event, words_per_run)
+
+let engine_metric_names =
+  [ "engine_events_per_s"; "alloc_words_per_event"; "alloc_words_per_run" ]
+
+(* --- smoke mode ------------------------------------------------------- *)
+
+(* [--smoke]: the cheap micro-benches plus the engine/allocation
+   instruments, with the produced metric-name set diffed against the
+   committed schema (bench/metric_schema.txt).  Run by `./dev check`, so
+   a rename or silent disappearance of a performance metric fails CI
+   before it corrupts the BENCH_RESULTS.json trajectory.  Never writes
+   BENCH_RESULTS.json. *)
+let smoke () =
+  let micro = run_micro cheap_cases in
+  ignore (engine_stats () : float * float * float);
+  let produced =
+    List.sort_uniq String.compare
+      (List.map (fun (name, _, _) -> name) micro @ engine_metric_names)
+  in
+  let schema_path =
+    match Lint.Driver.find_root () with
+    | Some root -> Filename.concat root "bench/metric_schema.txt"
+    | None -> "bench/metric_schema.txt"
+  in
+  let committed =
+    let ic = open_in schema_path in
+    let rec go acc =
+      match input_line ic with
+      | line ->
+          let line = String.trim line in
+          go (if line = "" || line.[0] = '#' then acc else line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.sort_uniq String.compare acc
+    in
+    go []
+  in
+  let missing = List.filter (fun n -> not (List.mem n produced)) committed in
+  let extra = List.filter (fun n -> not (List.mem n committed)) produced in
+  if missing = [] && extra = [] then begin
+    Printf.printf "bench smoke: ok (%d metric names match %s)\n"
+      (List.length produced) schema_path;
+    exit 0
+  end
+  else begin
+    List.iter
+      (fun n -> Printf.eprintf "bench smoke: missing metric %s\n" n)
+      missing;
+    List.iter
+      (fun n ->
+        Printf.eprintf
+          "bench smoke: unexpected metric %s (add it to %s if intentional)\n" n
+          schema_path)
+      extra;
+    exit 1
+  end
+
 (* --- machine-readable results dump ----------------------------------- *)
 
 let json_string s =
@@ -386,16 +514,20 @@ let json_float f =
 let json_opt_float = function Some f -> json_float f | None -> "null"
 
 let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
-    ~mcheck ~fuzz ~invariants_ok ~lint =
+    ~mcheck ~fuzz ~engine ~invariants_ok ~lint =
   let mc_states, mc_wall, mc_states_per_s, mc_visited_mb, mc_speedup =
     mcheck
   in
   let fuzz_runs, fuzz_wall, fuzz_runs_per_s, fuzz_failures = fuzz in
+  let events_per_s, words_per_event, words_per_run = engine in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"speed\": %s,\n" (json_string speed);
   p "  \"domains\": %d,\n" domains;
+  p "  \"engine_events_per_s\": %s,\n" (json_float events_per_s);
+  p "  \"alloc_words_per_event\": %s,\n" (json_float words_per_event);
+  p "  \"alloc_words_per_run\": %s,\n" (json_float words_per_run);
   p "  \"experiments\": {\n";
   p "    \"wall_clock_s\": %s,\n" (json_float wall);
   p "    \"serial_wall_clock_s\": %s,\n" (json_opt_float serial_wall);
@@ -433,6 +565,7 @@ let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
   close_out oc
 
 let () =
+  if Array.exists (String.equal "--smoke") Sys.argv then smoke ();
   let speed =
     match Sys.getenv_opt "BENCH_SPEED" with
     | Some "full" -> Harness.Experiments.Full
@@ -595,7 +728,8 @@ let () =
         (if lint_ok then "OK" else "FAILED")
         findings
   | None -> Format.printf "lint: skipped (no source tree)@.");
+  let engine = engine_stats () in
   let path = "BENCH_RESULTS.json" in
   write_results ~path ~speed:speed_name ~domains ~wall ~serial_wall ~micro
-    ~metrics ~mcheck ~fuzz ~invariants_ok ~lint;
+    ~metrics ~mcheck ~fuzz ~engine ~invariants_ok ~lint;
   Format.printf "(wrote %s)@." path

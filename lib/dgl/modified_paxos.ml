@@ -65,7 +65,12 @@ let adopt_ballot ?(how = "adopt") ctx st b =
   in
   if new_session > st.session.Session.number then begin
     let st = { st with session = Session.enter st.session ~number:new_session } in
-    Engine.note ctx (Printf.sprintf "session:%d:%s" new_session how);
+    let buf = Sim.Scratch.buffer (Engine.scratch ctx) in
+    Buffer.add_string buf "session:";
+    Sim.Numfmt.add_int buf new_session;
+    Buffer.add_char buf ':';
+    Buffer.add_string buf how;
+    Engine.note ctx (Buffer.contents buf);
     Engine.count ctx "session_entries";
     Engine.set_timer ctx ~local_delay:st.cfg.Config.timer_local
       ~tag:new_session;

@@ -1,0 +1,75 @@
+(* Synthetic protocols that stress exactly one engine path each, so the
+   allocation test and the benchmarks can attribute every word of garbage
+   to a specific subsystem.  Neither protocol ever decides: runs are
+   bounded by the scenario horizon, and the event count scales linearly
+   with it — which is what lets callers measure a steady-state slope by
+   differencing two horizons. *)
+
+let no_payload = Sim.Trace.payload "hotpath"
+
+(* One token per process chases around the ring forever.  With tracing
+   off and an rng-free network policy (use
+   [Sim.Network.deterministic_after_ts] with [ts = 0]), the entire
+   steady state is message events: this is the path the zero-allocation
+   contract covers. *)
+let pinger : (int, unit) Sim.Engine.protocol =
+  {
+    name = "hotpath-pinger";
+    on_boot =
+      (fun ctx ->
+        let n = Sim.Engine.n_processes ctx in
+        Sim.Engine.send ctx ~dst:((Sim.Engine.self ctx + 1) mod n) 0);
+    on_message =
+      (fun ctx () ~src:_ m ->
+        let n = Sim.Engine.n_processes ctx in
+        Sim.Engine.send ctx ~dst:((Sim.Engine.self ctx + 1) mod n) (m + 1));
+    on_timer = (fun _ () ~tag:_ -> ());
+    on_restart = (fun _ ~persisted:_ -> ());
+    msg_payload = (fun _ -> no_payload);
+  }
+
+(* Every process re-arms a periodic timer and never sends.  The timer
+   path is *not* allocation-free (the [local_delay] float boxes at the
+   context boundary and the drifted-clock conversion returns a boxed
+   float); this protocol pins that residual cost so regressions in it are
+   caught even though the budget is nonzero. *)
+let ticker_period = 0.1
+
+let ticker : (unit, unit) Sim.Engine.protocol =
+  let rearm ctx = Sim.Engine.set_timer ctx ~local_delay:ticker_period ~tag:0 in
+  {
+    name = "hotpath-ticker";
+    on_boot = (fun ctx -> rearm ctx);
+    on_message = (fun _ () ~src:_ () -> ());
+    on_timer =
+      (fun ctx () ~tag:_ ->
+        rearm ctx;
+        ());
+    on_restart = (fun ctx ~persisted:_ -> rearm ctx);
+    msg_payload = (fun () -> no_payload);
+  }
+
+let scenario ?(n = 3) ~horizon () =
+  Sim.Scenario.make ~name:"hotpath" ~n ~ts:0. ~horizon
+    ~network:Sim.Network.deterministic_after_ts ~stop_on_all_decided:false ()
+
+(* Steady-state words allocated per engine event, measured by running the
+   same scenario at two horizons and differencing: setup cost (contexts,
+   queue growth, metric registration) cancels out, leaving the slope.
+   [Gc.minor_words] counts every minor-heap word, and nothing here
+   survives to the major heap, so the slope is the per-event allocation
+   exactly. *)
+let alloc_words_per_event protocol ~n ~horizon_lo ~horizon_hi =
+  let events horizon =
+    let r = Sim.Engine.run (scenario ~n ~horizon ()) protocol in
+    r.Sim.Engine.events_processed
+  in
+  ignore (events horizon_lo : int) (* warm up: grow queue + arena *);
+  let w0 = Gc.minor_words () in
+  let e_lo = events horizon_lo in
+  let w1 = Gc.minor_words () in
+  let e_hi = events horizon_hi in
+  let w2 = Gc.minor_words () in
+  let d_events = e_hi - e_lo in
+  if d_events <= 0 then invalid_arg "Hotpath.alloc_words_per_event: no slope";
+  ((w2 -. w1) -. (w1 -. w0)) /. float_of_int d_events

@@ -1,4 +1,4 @@
-(* The Parsetree pass: one Ast_iterator walk per file, all eight rules.
+(* The Parsetree pass: one Ast_iterator walk per file, all nine rules.
 
    Everything here is syntactic — no typing, no cmt files — so each
    rule is a conservative pattern over names and shapes, scoped by the
@@ -77,6 +77,12 @@ let tbl_iter_fns =
   ]
 
 let partial_fns = [ "List.hd"; "List.tl"; "Option.get"; "failwith" ]
+
+(* R9: per-event allocators.  sprintf also interprets its format string
+   each call; (@) copies its whole left operand. *)
+let sprintf_fns = [ "Printf.sprintf"; "Format.sprintf"; "Format.asprintf" ]
+
+let append_fns = [ "@"; "List.append"; "Stdlib.List.append" ]
 
 (* Allocators whose module-level evaluation creates shared mutable
    state.  [ref] is the headline; the rest are the stdlib's other
@@ -255,7 +261,25 @@ let scan ~scope (structure : Parsetree.structure) : Rules.finding list =
           (Printf.sprintf
              "%s can raise on a step/handle path; protocol handlers must \
               tolerate every interleaving"
-             path)
+             path);
+    if scope.protocol_scope && !handler_depth > 0 then begin
+      if List.mem path sprintf_fns then
+        report ~rule:Rules.R9 ~loc ~context:path
+          ~message:
+            (Printf.sprintf
+               "%s allocates and re-interprets its format once per event \
+                on a step/handle path; build the text in the ctx scratch \
+                buffer with the Sim.Numfmt emitters"
+               path);
+      if List.mem path append_fns then
+        report ~rule:Rules.R9 ~loc ~context:path
+          ~message:
+            (Printf.sprintf
+               "(%s) copies its whole left operand once per event on a \
+                step/handle path; prefer cons plus one reversal, or a \
+                scratch table"
+               (if path = "@" then "@" else path))
+    end
   in
 
   let check_match_cases loc cases =

@@ -7,9 +7,9 @@
    every rule is written to be cheap, predictable and suppressible at
    the site with an explicit reason. *)
 
-type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
-let all_ids = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
+let all_ids = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
 
 let id_to_string = function
   | R1 -> "R1"
@@ -20,6 +20,7 @@ let id_to_string = function
   | R6 -> "R6"
   | R7 -> "R7"
   | R8 -> "R8"
+  | R9 -> "R9"
 
 let id_of_string s =
   match String.uppercase_ascii s with
@@ -31,6 +32,7 @@ let id_of_string s =
   | "R6" -> Some R6
   | "R7" -> Some R7
   | "R8" -> Some R8
+  | "R9" -> Some R9
   | _ -> None
 
 let title = function
@@ -42,6 +44,7 @@ let title = function
   | R6 -> "polymorphic compare/equality hazard"
   | R7 -> "wildcard arm in a protocol message-handler match"
   | R8 -> "partial function on a step/handle path"
+  | R9 -> "per-event allocation on a step/handle path"
 
 let rationale = function
   | R1 ->
@@ -78,6 +81,13 @@ let rationale = function
       "List.hd/Option.get/failwith/assert false on a step/handle path \
        turns an unexpected-but-tolerable message interleaving into a \
        crash; protocol code must handle or explicitly ignore, never trap."
+  | R9 ->
+      "Printf/Format sprintf and list append (@) on a step/handle path \
+       allocate (and sprintf interprets its format) once per event, \
+       which the allocation-free engine budget (test/test_alloc.ml) \
+       pays for on every run.  Advisory: build text in the ctx scratch \
+       buffer with the Numfmt emitters and prefer cons + a single \
+       reversal (or the scratch tables) over repeated append."
 
 type finding = {
   rule : id;

@@ -1,17 +1,17 @@
 (** Rule catalogue for the determinism & protocol-hygiene linter.
 
-    The eight rules, what each guards, and the [finding] record every
+    The nine rules, what each guards, and the [finding] record every
     stage of the pass exchanges.  See DESIGN.md §5d for the narrative
     version of the catalogue. *)
 
-type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
+type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
 
 val all_ids : id list
 
 val id_to_string : id -> string
 
 val id_of_string : string -> id option
-(** Case-insensitive; [None] for anything that is not [R1]..[R8]. *)
+(** Case-insensitive; [None] for anything that is not [R1]..[R9]. *)
 
 val title : id -> string
 (** One-line summary, used in human output and [--list-rules]. *)

@@ -197,6 +197,7 @@ let make_ctx sh ~proposals ~proc_rng ~storage ~msg_payload p :
             end));
     has_decided = (fun () -> locked sh (fun () -> sh.decisions.(p) <> None));
     rng = proc_rng;
+    scratch = Sim.Scratch.create ();
     note =
       (fun text ->
         locked sh (fun () ->

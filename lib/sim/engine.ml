@@ -1,10 +1,3 @@
-type 'msg body =
-  | Deliver of { src : int; dst : int; msg_id : int; msg : 'msg }
-  | Timer of { proc : int; incarnation : int; tag : int }
-  | Fault_action of { proc : int; action : Fault.action }
-
-type 'msg event = { at : Sim_time.t; seq : int; body : 'msg body }
-
 type ('msg, 'state) protocol = ('msg, 'state) Runtime.protocol = {
   name : string;
   on_boot : ('msg, 'state) Runtime.ctx -> 'state;
@@ -18,12 +11,44 @@ type ('msg, 'state) protocol = ('msg, 'state) Runtime.protocol = {
 
 type ('msg, 'state) ctx = ('msg, 'state) Runtime.ctx
 
+(* Events are packed into the five int words of [Packed_queue]: the
+   bit-cast fire time, an order word [(seq lsl kind_bits) lor kind]
+   (so simultaneous events fire in scheduling order and the kind rides
+   along for free), and three payload words:
+
+     Deliver: f1 = src, f2 = dst, f3 = arena slot of the message
+     Timer:   f1 = proc, f2 = incarnation at arming time, f3 = tag
+     Fault:   f1 = proc, f2 = action (0 = crash, 1 = restart)
+
+   Messages themselves live in a per-run arena ([arena_msgs] and
+   friends): a slot is claimed per *sent* message, shared by all
+   scheduled copies via a refcount, and recycled through a free list
+   once the last copy leaves the queue — so a steady-state run touches a
+   constant set of slots and the event loop allocates nothing. *)
+
+let kind_bits = 2
+let kind_mask = (1 lsl kind_bits) - 1
+let kind_deliver = 0
+let kind_timer = 1
+let kind_fault = 2
+
 type ('msg, 'state) t = {
   scenario : Scenario.t;
   protocol : ('msg, 'state) protocol;
-  queue : 'msg event Event_queue.t;
-  mutable now : Sim_time.t;
+  queue : Packed_queue.t;
+  mutable now_key : int;  (* Sim_time.key_of_t of current time *)
   mutable next_seq : int;
+  (* Message arena.  [arena_ids] holds the trace message id while a slot
+     is live and the next-free link while it is on the free list; a
+     freed slot keeps its last message reachable until reuse (bounded by
+     arena size, which itself is bounded by peak in-flight messages). *)
+  mutable arena_msgs : 'msg array;
+  mutable arena_ids : int array;
+  mutable arena_refs : int array;
+  mutable arena_len : int;
+  mutable free_head : int;  (* -1 = none *)
+  net_env : Network.env;
+  net_delays : Network.delays;
   states : 'state option array;  (* None = process down *)
   incarnations : int array;
   clocks : Clock.t array;
@@ -34,6 +59,9 @@ type ('msg, 'state) t = {
   decision_values : int option array;
   trace : Trace.t;
   metrics : Registry.t;
+  h_sent : Registry.handle;
+  h_delivered : Registry.handle;
+  h_dropped : Registry.handle;
   mutable next_msg_id : int;
   mutable ctxs : ('msg, 'state) ctx array;
   mutable sent : int;
@@ -50,16 +78,79 @@ type ('msg, 'state) t = {
   mutable undecided_up_count : int;
 }
 
-(* Events are ordered by (time, insertion sequence): simultaneous events
-   fire in the order they were scheduled, which makes runs deterministic. *)
-let event_cmp a b =
-  let c = Sim_time.compare a.at b.at in
-  if c <> 0 then c else Int.compare a.seq b.seq
+(* Local inline copies of the [Sim_time] key bit-casts.  The hot path
+   must not call float-returning functions in other modules: under the
+   dev profile cross-module calls are opaque (no inlining), so e.g. a
+   [Sim_time.t_of_key] call would box its float result on every event.
+   These bodies are pure externals, which stay direct in every profile;
+   [Sim_time.key_of_t] documents the encoding. *)
+let[@inline] key_of_time t =
+  Int64.to_int (Int64.bits_of_float t) lxor Stdlib.min_int
 
-let schedule eng ~at body =
-  let ev = { at; seq = eng.next_seq; body } in
-  eng.next_seq <- eng.next_seq + 1;
-  Event_queue.add eng.queue ev
+let[@inline] time_of_key k =
+  Int64.float_of_bits
+    (Int64.logand (Int64.of_int (k lxor Stdlib.min_int)) Int64.max_int)
+
+let[@inline] now eng = time_of_key eng.now_key
+
+let negative_event_time () : int =
+  invalid_arg "Engine: event time must be >= 0"
+
+(* Bit-cast keys only order correctly for non-negative times; negative
+   instants have no meaning in the model, so reject them loudly.  The
+   [>=] comparison also rejects NaN. *)
+let[@inline] key_of_event_time at =
+  if at >= 0. then key_of_time at else negative_event_time ()
+
+let schedule_packed eng ~key ~kind ~f1 ~f2 ~f3 =
+  let seq = eng.next_seq in
+  eng.next_seq <- seq + 1;
+  Packed_queue.add eng.queue ~key
+    ~ord:((seq lsl kind_bits) lor kind)
+    ~f1 ~f2 ~f3
+
+(* ------------------------------------------------------------------ *)
+(* Message arena                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let arena_grow eng filler =
+  let cap = Array.length eng.arena_refs in
+  let ncap = if cap = 0 then 64 else 2 * cap in
+  let msgs = Array.make ncap filler in
+  Array.blit eng.arena_msgs 0 msgs 0 cap;
+  let ids = Array.make ncap 0 in
+  Array.blit eng.arena_ids 0 ids 0 cap;
+  let refs = Array.make ncap 0 in
+  Array.blit eng.arena_refs 0 refs 0 cap;
+  eng.arena_msgs <- msgs;
+  eng.arena_ids <- ids;
+  eng.arena_refs <- refs
+
+let arena_alloc eng msg ~id ~refs =
+  let slot =
+    match eng.free_head with
+    | -1 ->
+        if eng.arena_len = Array.length eng.arena_refs then
+          arena_grow eng msg;
+        let s = eng.arena_len in
+        eng.arena_len <- s + 1;
+        s
+    | s ->
+        eng.free_head <- eng.arena_ids.(s);
+        s
+  in
+  eng.arena_msgs.(slot) <- msg;
+  eng.arena_ids.(slot) <- id;
+  eng.arena_refs.(slot) <- refs;
+  slot
+
+let arena_release eng slot =
+  let r = eng.arena_refs.(slot) - 1 in
+  eng.arena_refs.(slot) <- r;
+  if r = 0 then begin
+    eng.arena_ids.(slot) <- eng.free_head;
+    eng.free_head <- slot
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Context operations (thin wrappers over the closure record so that   *)
@@ -89,6 +180,8 @@ let has_decided (c : _ ctx) = c.Runtime.has_decided ()
 
 let rng (c : _ ctx) = c.Runtime.rng
 
+let scratch (c : _ ctx) = c.Runtime.scratch
+
 let note (c : _ ctx) text = c.Runtime.note text
 
 let count (c : _ ctx) name = c.Runtime.count name
@@ -100,55 +193,49 @@ let oracle_time (c : _ ctx) = c.Runtime.oracle_time ()
 (* ------------------------------------------------------------------ *)
 
 let eng_send eng p ~dst msg =
-  let sc = eng.scenario in
   eng.sent <- eng.sent + 1;
-  Registry.inc eng.metrics ~proc:p "msgs_sent";
-  let payload () = eng.protocol.msg_payload msg in
-  let fresh_id () =
+  Registry.inc_handle eng.h_sent ~proc:p;
+  let t = now eng in
+  eng.net_env.Network.now <- t;
+  let sc = eng.scenario in
+  let copies =
+    sc.Scenario.network.Network.decide_into eng.net_rng eng.net_env
+      eng.net_delays ~src:p ~dst
+  in
+  if copies = 0 then begin
+    eng.dropped <- eng.dropped + 1;
+    Registry.inc_handle eng.h_dropped ~proc:dst;
+    (* A dropped message only needs an id for its trace record. *)
+    if Trace.enabled eng.trace then begin
+      let id = eng.next_msg_id in
+      eng.next_msg_id <- id + 1;
+      Trace.record_drop eng.trace ~t ~id ~src:p ~dst
+        (eng.protocol.msg_payload msg)
+    end
+  end
+  else begin
     let id = eng.next_msg_id in
     eng.next_msg_id <- id + 1;
-    id
-  in
-  match
-    sc.Scenario.network.Network.decide eng.net_rng ~now:eng.now
-      ~ts:sc.Scenario.ts ~delta:sc.Scenario.delta ~src:p ~dst
-  with
-  | Network.Drop ->
-      eng.dropped <- eng.dropped + 1;
-      Registry.inc eng.metrics ~proc:dst "msgs_dropped";
-      if Trace.enabled eng.trace then
-        Trace.record eng.trace
-          (Trace.Drop
-             { t = eng.now; id = fresh_id (); src = p; dst; payload = payload () })
-  | Network.Deliver_after delay ->
-      let id = fresh_id () in
-      if Trace.enabled eng.trace then
-        Trace.record eng.trace
-          (Trace.Send { t = eng.now; id; src = p; dst; payload = payload () });
-      schedule eng
-        ~at:(Sim_time.add eng.now delay)
-        (Deliver { src = p; dst; msg_id = id; msg })
-  | Network.Deliver_copies delays ->
-      let id = fresh_id () in
-      if Trace.enabled eng.trace then
-        Trace.record eng.trace
-          (Trace.Send { t = eng.now; id; src = p; dst; payload = payload () });
-      List.iter
-        (fun delay ->
-          schedule eng
-            ~at:(Sim_time.add eng.now delay)
-            (Deliver { src = p; dst; msg_id = id; msg }))
-        delays
+    if Trace.enabled eng.trace then
+      Trace.record_send eng.trace ~t ~id ~src:p ~dst
+        (eng.protocol.msg_payload msg);
+    let slot = arena_alloc eng msg ~id ~refs:copies in
+    let delays = eng.net_delays.Network.delays in
+    for i = 0 to copies - 1 do
+      schedule_packed eng
+        ~key:(key_of_event_time (t +. delays.(i)))
+        ~kind:kind_deliver ~f1:p ~f2:dst ~f3:slot
+    done
+  end
 
 let eng_set_timer eng p ~local_delay ~tag =
   if local_delay < 0. then invalid_arg "Engine.set_timer: negative delay";
-  let global_delay = Clock.global_duration eng.clocks.(p) local_delay in
-  let fire_at = Sim_time.add eng.now global_delay in
+  let t = now eng in
+  let fire_at = t +. Clock.global_duration eng.clocks.(p) local_delay in
   if Trace.enabled eng.trace then
-    Trace.record eng.trace
-      (Trace.Timer_set { t = eng.now; proc = p; tag; fire_at });
-  schedule eng ~at:fire_at
-    (Timer { proc = p; incarnation = eng.incarnations.(p); tag })
+    Trace.record_timer_set eng.trace ~t ~proc:p ~tag ~fire_at;
+  schedule_packed eng ~key:(key_of_event_time fire_at) ~kind:kind_timer ~f1:p
+    ~f2:eng.incarnations.(p) ~f3:tag
 
 (* Counter maintenance: call [mark_up]/[mark_down] after/before every
    [None <-> Some] transition of [states.(p)]. *)
@@ -169,12 +256,12 @@ let eng_decide eng p v =
       if eng.states.(p) <> None then
         eng.undecided_up_count <- eng.undecided_up_count - 1;
       eng.decision_values.(p) <- Some v;
-      eng.decision_times.(p) <- Some eng.now;
+      eng.decision_times.(p) <- Some (now eng);
       Registry.inc eng.metrics ~proc:p "decisions";
       Registry.observe eng.metrics "decision_latency_delta"
-        (Sim_time.diff eng.now eng.scenario.Scenario.ts
+        (Sim_time.diff (now eng) eng.scenario.Scenario.ts
         /. eng.scenario.Scenario.delta);
-      Trace.record eng.trace (Trace.Decide { t = eng.now; proc = p; value = v });
+      Trace.record_decide eng.trace ~t:(now eng) ~proc:p ~value:v;
       (* Flag (but do not abort on) an agreement violation so that tests
          can surface a safety bug with the full trace in hand. *)
       if eng.agreement_violation = None then
@@ -192,7 +279,7 @@ let make_ctx eng p : _ ctx =
     Runtime.self = p;
     n;
     proposal = eng.scenario.Scenario.proposals.(p);
-    local_time = (fun () -> Clock.local_of_global eng.clocks.(p) eng.now);
+    local_time = (fun () -> Clock.local_of_global eng.clocks.(p) (now eng));
     send = (fun ~dst msg -> eng_send eng p ~dst msg);
     broadcast =
       (fun msg ->
@@ -203,13 +290,14 @@ let make_ctx eng p : _ ctx =
       (fun ~local_delay ~tag -> eng_set_timer eng p ~local_delay ~tag);
     persist = (fun st -> Stable_storage.save eng.storage ~proc:p st);
     decide = (fun v -> eng_decide eng p v);
-    has_decided = (fun () -> eng.decision_values.(p) <> None);
+    has_decided =
+      (fun () ->
+        match eng.decision_values.(p) with Some _ -> true | None -> false);
     rng = eng.proc_rngs.(p);
-    note =
-      (fun text ->
-        Trace.record eng.trace (Trace.Note { t = eng.now; proc = p; text }));
+    scratch = Scratch.create ();
+    note = (fun text -> Trace.record_note eng.trace ~t:(now eng) ~proc:p text);
     count = (fun name -> Registry.inc eng.metrics ~proc:p name);
-    oracle_time = (fun () -> eng.now);
+    oracle_time = (fun () -> now eng);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -240,67 +328,67 @@ let should_stop (eng : (_, _) t) =
   && eng.pending_faults = 0
   && all_up_decided eng
 
-let dispatch (eng : (_, _) t) ev =
+let dispatch (eng : (_, _) t) ~kind ~f1 ~f2 ~f3 =
   eng.events_processed <- eng.events_processed + 1;
-  match ev.body with
-  | Deliver { src; dst; msg_id; msg } -> (
-      match eng.states.(dst) with
-      | None ->
-          (* Receiver is down: the message is lost on arrival. *)
-          eng.dropped <- eng.dropped + 1;
-          Registry.inc eng.metrics ~proc:dst "msgs_dropped";
-          if Trace.enabled eng.trace then
-            Trace.record eng.trace
-              (Trace.Drop
-                 {
-                   t = eng.now;
-                   id = msg_id;
-                   src;
-                   dst;
-                   payload = eng.protocol.msg_payload msg;
-                 })
+  if kind = kind_deliver then begin
+    let src = f1 and dst = f2 and slot = f3 in
+    let msg = eng.arena_msgs.(slot) in
+    let id = eng.arena_ids.(slot) in
+    arena_release eng slot;
+    match eng.states.(dst) with
+    | None ->
+        (* Receiver is down: the message is lost on arrival. *)
+        eng.dropped <- eng.dropped + 1;
+        Registry.inc_handle eng.h_dropped ~proc:dst;
+        if Trace.enabled eng.trace then
+          Trace.record_drop eng.trace ~t:(now eng) ~id ~src ~dst
+            (eng.protocol.msg_payload msg)
+    | Some st ->
+        eng.delivered <- eng.delivered + 1;
+        Registry.inc_handle eng.h_delivered ~proc:dst;
+        if Trace.enabled eng.trace then
+          Trace.record_deliver eng.trace ~t:(now eng) ~id ~src ~dst
+            (eng.protocol.msg_payload msg);
+        let st' = eng.protocol.on_message eng.ctxs.(dst) st ~src msg in
+        (* lint: allow R5 — same-object means the handler kept its state;
+           skipping the store is the point, equal-but-rebuilt states may
+           be stored redundantly and that is harmless *)
+        if st' != st then eng.states.(dst) <- Some st'
+  end
+  else if kind = kind_timer then begin
+    let proc = f1 and tag = f3 in
+    (* A timer set before a crash is void: the incarnation moved on. *)
+    if f2 = eng.incarnations.(proc) then
+      match eng.states.(proc) with
+      | None -> ()
       | Some st ->
-          eng.delivered <- eng.delivered + 1;
-          Registry.inc eng.metrics ~proc:dst "msgs_delivered";
           if Trace.enabled eng.trace then
-            Trace.record eng.trace
-              (Trace.Deliver
-                 {
-                   t = eng.now;
-                   id = msg_id;
-                   src;
-                   dst;
-                   payload = eng.protocol.msg_payload msg;
-                 });
-          eng.states.(dst) <-
-            Some (eng.protocol.on_message eng.ctxs.(dst) st ~src msg))
-  | Timer { proc; incarnation; tag } -> (
-      (* A timer set before a crash is void: the incarnation moved on. *)
-      if incarnation = eng.incarnations.(proc) then
-        match eng.states.(proc) with
-        | None -> ()
-        | Some st ->
-            if Trace.enabled eng.trace then
-              Trace.record eng.trace
-                (Trace.Timer_fire { t = eng.now; proc; tag });
-            eng.states.(proc) <-
-              Some (eng.protocol.on_timer eng.ctxs.(proc) st ~tag))
-  | Fault_action { proc; action } -> (
-      eng.pending_faults <- eng.pending_faults - 1;
-      match action with
-      | Fault.Crash ->
-          Trace.record eng.trace (Trace.Crash { t = eng.now; proc });
-          if eng.states.(proc) <> None then mark_down eng proc;
-          eng.states.(proc) <- None;
-          eng.incarnations.(proc) <- eng.incarnations.(proc) + 1
-      | Fault.Restart ->
-          Trace.record eng.trace (Trace.Restart { t = eng.now; proc });
-          eng.incarnations.(proc) <- eng.incarnations.(proc) + 1;
-          let persisted = Stable_storage.load eng.storage ~proc in
-          let was_up = eng.states.(proc) <> None in
-          eng.states.(proc) <-
-            Some (eng.protocol.on_restart eng.ctxs.(proc) ~persisted);
-          if not was_up then mark_up eng proc)
+            Trace.record_timer_fire eng.trace ~t:(now eng) ~proc ~tag;
+          let st' = eng.protocol.on_timer eng.ctxs.(proc) st ~tag in
+          (* lint: allow R5 — store avoidance, as in the deliver arm *)
+          if st' != st then eng.states.(proc) <- Some st'
+  end
+  else begin
+    let proc = f1 in
+    eng.pending_faults <- eng.pending_faults - 1;
+    if f2 = 0 then begin
+      (* crash *)
+      Trace.record_crash eng.trace ~t:(now eng) ~proc;
+      if eng.states.(proc) <> None then mark_down eng proc;
+      eng.states.(proc) <- None;
+      eng.incarnations.(proc) <- eng.incarnations.(proc) + 1
+    end
+    else begin
+      (* restart *)
+      Trace.record_restart eng.trace ~t:(now eng) ~proc;
+      eng.incarnations.(proc) <- eng.incarnations.(proc) + 1;
+      let persisted = Stable_storage.load eng.storage ~proc in
+      let was_up = eng.states.(proc) <> None in
+      eng.states.(proc) <-
+        Some (eng.protocol.on_restart eng.ctxs.(proc) ~persisted);
+      if not was_up then mark_up eng proc
+    end
+  end
 
 let run ?(injections = []) scenario protocol =
   (match Scenario.validate scenario with
@@ -316,13 +404,23 @@ let run ?(injections = []) scenario protocol =
         Clock.random clock_rng ~rho:scenario.Scenario.rho
           ~max_offset:scenario.Scenario.delta)
   in
+  let metrics = Registry.create () in
   let eng =
     {
       scenario;
       protocol;
-      queue = Event_queue.create ~cmp:event_cmp ();
-      now = Sim_time.zero;
+      queue = Packed_queue.create ();
+      now_key = key_of_time Sim_time.zero;
       next_seq = 0;
+      arena_msgs = [||];
+      arena_ids = [||];
+      arena_refs = [||];
+      arena_len = 0;
+      free_head = -1;
+      net_env =
+        Network.make_env ~now:Sim_time.zero ~ts:scenario.Scenario.ts
+          ~delta:scenario.Scenario.delta;
+      net_delays = Network.make_delays ();
       states = Array.make n None;
       incarnations = Array.make n 0;
       clocks;
@@ -335,7 +433,10 @@ let run ?(injections = []) scenario protocol =
         Trace.create
           ~capacity:scenario.Scenario.trace_capacity
           ~enabled:scenario.Scenario.record_trace ();
-      metrics = Registry.create ();
+      metrics;
+      h_sent = Registry.handle ~procs:n metrics "msgs_sent";
+      h_delivered = Registry.handle ~procs:n metrics "msgs_delivered";
+      h_dropped = Registry.handle ~procs:n metrics "msgs_dropped";
       next_msg_id = 0;
       ctxs = [||];
       sent = 0;
@@ -353,14 +454,18 @@ let run ?(injections = []) scenario protocol =
   List.iter
     (fun { Fault.at; proc; action } ->
       eng.pending_faults <- eng.pending_faults + 1;
-      schedule eng ~at (Fault_action { proc; action }))
+      let act = match action with Fault.Crash -> 0 | Fault.Restart -> 1 in
+      schedule_packed eng ~key:(key_of_event_time at) ~kind:kind_fault
+        ~f1:proc ~f2:act ~f3:0)
     (Fault.sorted_events scenario.Scenario.faults);
   Registry.inc eng.metrics "runs";
   (* Injected in-flight messages (obsolete pre-TS traffic): no recorded
      origin, so they carry [Trace.no_origin] as their message id. *)
   List.iter
     (fun (at, src, dst, msg) ->
-      schedule eng ~at (Deliver { src; dst; msg_id = Trace.no_origin; msg }))
+      let slot = arena_alloc eng msg ~id:Trace.no_origin ~refs:1 in
+      schedule_packed eng ~key:(key_of_event_time at) ~kind:kind_deliver
+        ~f1:src ~f2:dst ~f3:slot)
     injections;
   (* Boot initially-up processes. *)
   for p = 0 to n - 1 do
@@ -369,20 +474,23 @@ let run ?(injections = []) scenario protocol =
       mark_up eng p
     end
   done;
-  (* Main loop. *)
+  (* Main loop: five int loads, an in-place heap pop, dispatch. *)
+  let horizon_key = key_of_event_time scenario.Scenario.horizon in
+  let q = eng.queue in
   let rec loop () =
-    if should_stop eng then ()
-    else
-      match Event_queue.peek_min eng.queue with
-      | None -> ()
-      | Some ev ->
-          if ev.at > scenario.Scenario.horizon then ()
-          else begin
-            ignore (Event_queue.pop_min eng.queue);
-            eng.now <- Sim_time.max eng.now ev.at;
-            dispatch eng ev;
-            loop ()
-          end
+    if (not (should_stop eng)) && Packed_queue.length q > 0 then begin
+      let key = Packed_queue.min_key q in
+      if key <= horizon_key then begin
+        let ord = Packed_queue.min_ord q in
+        let f1 = Packed_queue.min_f1 q in
+        let f2 = Packed_queue.min_f2 q in
+        let f3 = Packed_queue.min_f3 q in
+        Packed_queue.drop_min q;
+        if key > eng.now_key then eng.now_key <- key;
+        dispatch eng ~kind:(ord land kind_mask) ~f1 ~f2 ~f3;
+        loop ()
+      end
+    end
   in
   loop ();
   {
@@ -393,7 +501,7 @@ let run ?(injections = []) scenario protocol =
     messages_sent = eng.sent;
     messages_delivered = eng.delivered;
     messages_dropped = eng.dropped;
-    end_time = eng.now;
+    end_time = now eng;
     events_processed = eng.events_processed;
     trace = eng.trace;
     metrics = eng.metrics;

@@ -77,6 +77,10 @@ val has_decided : ('msg, 'state) ctx -> bool
 (** Per-process deterministic randomness (for protocols that need it). *)
 val rng : ('msg, 'state) ctx -> Prng.t
 
+(** Per-process reusable workspace for handler-local temporaries (never
+    for protocol state); see {!Scratch}. *)
+val scratch : ('msg, 'state) ctx -> Scratch.t
+
 (** Global (real) time of the current event.  {b Not for protocol
     logic} — processes cannot observe real time in the model.  This
     exists solely so that external oracles the paper {e assumes} (the

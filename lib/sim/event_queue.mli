@@ -33,6 +33,15 @@ val peek_min : 'a t -> 'a option
 (** Removes and returns the smallest element. *)
 val pop_min : 'a t -> 'a option
 
+(** Like {!peek_min} but without the [Some] allocation; raises
+    [Invalid_argument] on an empty queue.  Callers on allocation-free
+    paths pair it with {!is_empty}. *)
+val peek_min_exn : 'a t -> 'a
+
+(** Like {!pop_min} but without the [Some] allocation; raises
+    [Invalid_argument] on an empty queue. *)
+val pop_min_exn : 'a t -> 'a
+
 (** [of_list ~cmp xs] builds a heap containing [xs]. *)
 val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
 

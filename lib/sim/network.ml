@@ -1,5 +1,22 @@
 type decision = Drop | Deliver_after of float | Deliver_copies of float list
 
+type env = { mutable now : Sim_time.t; ts : Sim_time.t; delta : float }
+
+let make_env ~now ~ts ~delta = { now; ts; delta }
+
+type delays = { mutable delays : float array }
+
+let make_delays () = { delays = Array.make 8 0. }
+
+let ensure_delays b k =
+  if Array.length b.delays < k then begin
+    let nbuf = Array.make (Stdlib.max k (2 * Array.length b.delays)) 0. in
+    Array.blit b.delays 0 nbuf 0 (Array.length b.delays);
+    b.delays <- nbuf
+  end
+
+let[@inline] delay b i = b.delays.(i)
+
 type t = {
   name : string;
   decide :
@@ -10,7 +27,25 @@ type t = {
     src:int ->
     dst:int ->
     decision;
+  decide_into : Prng.t -> env -> delays -> src:int -> dst:int -> int;
 }
+
+(* [decide] is derived from [decide_into]: the policies are written
+   against the scratch buffer (so the engine's send path moves floats
+   through a flat array instead of allocating a [decision] per message)
+   and the variant API survives as a convenience for tests and
+   experiment probes.  A copy count of 1 renders as [Deliver_after],
+   matching what every pre-scratch policy produced. *)
+let of_into name decide_into =
+  let decide rng ~now ~ts ~delta ~src ~dst =
+    let env = { now; ts; delta } in
+    let b = make_delays () in
+    match decide_into rng env b ~src ~dst with
+    | 0 -> Drop
+    | 1 -> Deliver_after b.delays.(0)
+    | k -> Deliver_copies (List.init k (Array.get b.delays))
+  in
+  { name; decide; decide_into }
 
 let min_delay_factor = 0.05
 
@@ -27,37 +62,50 @@ let stable_delay rng ~delta ~src ~dst =
 let eventually_synchronous ?(pre_loss = 0.5) ?pre_delay_max () =
   if pre_loss < 0. || pre_loss > 1. then
     invalid_arg "Network.eventually_synchronous: pre_loss not in [0,1]";
-  let decide rng ~now ~ts ~delta ~src ~dst =
-    if now >= ts then Deliver_after (stable_delay rng ~delta ~src ~dst)
-    else if Prng.bool rng pre_loss then Drop
-    else
+  let decide_into rng env b ~src ~dst =
+    if env.now >= env.ts then begin
+      b.delays.(0) <- stable_delay rng ~delta:env.delta ~src ~dst;
+      1
+    end
+    else if Prng.bool rng pre_loss then 0
+    else begin
       let max_delay =
-        match pre_delay_max with Some d -> d | None -> 4. *. delta
+        match pre_delay_max with Some d -> d | None -> 4. *. env.delta
       in
-      Deliver_after (Prng.float_range rng (min_delay_factor *. delta) max_delay)
+      b.delays.(0) <-
+        Prng.float_range rng (min_delay_factor *. env.delta) max_delay;
+      1
+    end
   in
-  { name = "eventually-synchronous"; decide }
+  of_into "eventually-synchronous" decide_into
 
 let always_synchronous =
-  let decide rng ~now:_ ~ts:_ ~delta ~src ~dst =
-    Deliver_after (stable_delay rng ~delta ~src ~dst)
+  let decide_into rng env b ~src ~dst =
+    b.delays.(0) <- stable_delay rng ~delta:env.delta ~src ~dst;
+    1
   in
-  { name = "always-synchronous"; decide }
+  of_into "always-synchronous" decide_into
 
 let silent_until_ts =
-  let decide rng ~now ~ts ~delta ~src ~dst =
-    if now >= ts then Deliver_after (stable_delay rng ~delta ~src ~dst)
-    else Drop
+  let decide_into rng env b ~src ~dst =
+    if env.now >= env.ts then begin
+      b.delays.(0) <- stable_delay rng ~delta:env.delta ~src ~dst;
+      1
+    end
+    else 0
   in
-  { name = "silent-until-ts"; decide }
+  of_into "silent-until-ts" decide_into
 
 let deterministic_after_ts =
-  let decide _rng ~now ~ts ~delta ~src ~dst =
-    if now < ts then Drop
-    else if src = dst then Deliver_after (min_delay_factor *. delta)
-    else Deliver_after delta
+  let decide_into _rng env b ~src ~dst =
+    if env.now < env.ts then 0
+    else begin
+      b.delays.(0) <-
+        (if src = dst then min_delay_factor *. env.delta else env.delta);
+      1
+    end
   in
-  { name = "deterministic-after-ts"; decide }
+  of_into "deterministic-after-ts" decide_into
 
 let partitioned_until_ts groups =
   (* Precomputed at construction: [decide] runs once per message, and a
@@ -76,47 +124,61 @@ let partitioned_until_ts groups =
     if p >= 0 && p <= max_id && table.(p) <> Int.min_int then table.(p)
     else -1 - p (* unique negative id: isolated *)
   in
-  let decide rng ~now ~ts ~delta ~src ~dst =
-    if now >= ts || group_of src = group_of dst then
-      Deliver_after (stable_delay rng ~delta ~src ~dst)
-    else Drop
+  let decide_into rng env b ~src ~dst =
+    if env.now >= env.ts || group_of src = group_of dst then begin
+      b.delays.(0) <- stable_delay rng ~delta:env.delta ~src ~dst;
+      1
+    end
+    else 0
   in
-  { name = "partitioned-until-ts"; decide }
+  of_into "partitioned-until-ts" decide_into
 
 let with_duplication ~prob base =
   if prob < 0. || prob > 1. then
     invalid_arg "Network.with_duplication: prob not in [0,1]";
-  let decide rng ~now ~ts ~delta ~src ~dst =
-    match base.decide rng ~now ~ts ~delta ~src ~dst with
-    | Drop -> Drop
-    | Deliver_copies _ as d -> d
-    | Deliver_after d when Prng.bool rng prob ->
+  let decide_into rng env b ~src ~dst =
+    match base.decide_into rng env b ~src ~dst with
+    | 1 when Prng.bool rng prob ->
         (* the duplicate takes its own admissible delay *)
         let extra =
-          if now >= ts then stable_delay rng ~delta ~src ~dst
-          else Prng.float_range rng (min_delay_factor *. delta) (4. *. delta)
+          if env.now >= env.ts then stable_delay rng ~delta:env.delta ~src ~dst
+          else
+            Prng.float_range rng (min_delay_factor *. env.delta)
+              (4. *. env.delta)
         in
-        Deliver_copies [ d; extra ]
-    | Deliver_after _ as d -> d
+        ensure_delays b 2;
+        b.delays.(1) <- extra;
+        2
+    | k -> k
   in
-  { name = base.name ^ "+dup"; decide }
+  of_into (base.name ^ "+dup") decide_into
 
 let with_reordering ~window base =
   if window < 0. then invalid_arg "Network.with_reordering: negative window";
-  let jitter rng d = d +. Prng.float rng window in
-  let decide rng ~now ~ts ~delta ~src ~dst =
-    match base.decide rng ~now ~ts ~delta ~src ~dst with
-    | d when now >= ts -> d
-    | Drop -> Drop
-    | Deliver_after d -> Deliver_after (jitter rng d)
-    | Deliver_copies ds -> Deliver_copies (List.map (jitter rng) ds)
+  let decide_into rng env b ~src ~dst =
+    let k = base.decide_into rng env b ~src ~dst in
+    if env.now >= env.ts then k
+    else begin
+      for i = 0 to k - 1 do
+        b.delays.(i) <- b.delays.(i) +. Prng.float rng window
+      done;
+      k
+    end
   in
-  { name = base.name ^ "+reorder"; decide }
+  of_into (base.name ^ "+reorder") decide_into
 
 let with_hook ~name base hook =
-  let decide rng ~now ~ts ~delta ~src ~dst =
-    match hook ~now ~ts ~delta ~src ~dst with
-    | Some d -> d
-    | None -> base.decide rng ~now ~ts ~delta ~src ~dst
+  let decide_into rng env b ~src ~dst =
+    match hook ~now:env.now ~ts:env.ts ~delta:env.delta ~src ~dst with
+    | Some Drop -> 0
+    | Some (Deliver_after d) ->
+        b.delays.(0) <- d;
+        1
+    | Some (Deliver_copies ds) ->
+        let k = List.length ds in
+        ensure_delays b k;
+        List.iteri (fun i d -> b.delays.(i) <- d) ds;
+        k
+    | None -> base.decide_into rng env b ~src ~dst
   in
-  { name; decide }
+  of_into name decide_into

@@ -22,6 +22,27 @@ type decision =
           applies at the send instant (post-[ts] copies all within
           [delta]). *)
 
+(** Per-run decision environment: the engine allocates one [env] per run
+    and mutates [now] before each decision, so the hot send path passes a
+    single pointer instead of three (possibly boxed) float arguments. *)
+type env = { mutable now : Sim_time.t; ts : Sim_time.t; delta : float }
+
+val make_env : now:Sim_time.t -> ts:Sim_time.t -> delta:float -> env
+
+(** Reusable delay buffer filled by {!field-decide_into}.  Grows on
+    demand (only multi-copy policies ever need more than one slot).  The
+    array is public so the engine's send path can read delays with plain
+    float-array loads (a [delay] call would box its float result when
+    cross-module inlining is off); treat it as read-only outside this
+    module and never hold it across a [decide_into] call. *)
+type delays = { mutable delays : float array }
+
+val make_delays : unit -> delays
+
+(** [delay b i] is the [i]-th delay written by the last
+    [decide_into .. b] call, for [0 <= i <] its return value. *)
+val delay : delays -> int -> float
+
 type t = {
   name : string;
   decide :
@@ -32,6 +53,13 @@ type t = {
     src:int ->
     dst:int ->
     decision;
+      (** Convenience form: same policy as [decide_into], rendered as a
+          {!decision} (a copy count of 1 becomes [Deliver_after]).
+          Allocates; tests and probes use it, the engine does not. *)
+  decide_into : Prng.t -> env -> delays -> src:int -> dst:int -> int;
+      (** Non-allocating form: writes the delay of each delivered copy
+          into the buffer and returns the copy count ([0] = drop).  Both
+          fields consume the PRNG identically, draw for draw. *)
 }
 
 (** Fraction of [delta] used for self-addressed messages and as the lower

@@ -1,0 +1,302 @@
+(* Monotone min-priority queue of packed simulation events: a byte-radix
+   heap over a pooled linked-node store.
+
+   Ordering is lexicographic on [(key, ord)]:
+
+   - [key] is the event's fire time, bit-cast by [Sim_time.key_of_t]
+     (IEEE-754 bits of a non-negative double compare as its value);
+   - [ord] breaks ties; the engine packs a monotone sequence number into
+     its high bits, so simultaneous events fire in scheduling order.
+
+   [f1]..[f3] are opaque payload words carried alongside.
+
+   Discrete-event simulation never schedules into the past: every key
+   added is >= the current minimum ([add] raises [Invalid_argument]
+   otherwise).  That monotonicity admits a radix structure, which beats
+   any comparison heap here — no O(log n) sift per operation, just O(1)
+   bucket pushes and an amortized-constant redistribution.
+
+   Layout.  Events are nodes in parallel int arrays (fields plus a
+   [nxt] link), so moving an event between buckets is two stores — the
+   five payload fields never move.  Buckets are singly-linked lists
+   arranged in 8 levels of 256:
+
+   - [last] is the floor: the key of the current minimum, advanced
+     lazily.  Internally keys are compared through [ukey = key lxor
+     min_int], which makes byte-wise (unsigned) bucket order agree with
+     OCaml's signed int order.
+   - An event with key [k] lives at level [j] = index of the highest
+     byte in which [k] differs from [last] ([k lxor last] fits below
+     [2^(8j+8)]), in bucket [byte j of ukey].  Everything in one bucket
+     agrees with [last] above byte [j] and shares byte [j], so at level
+     0 a bucket holds exactly one key value, and the global minimum is
+     always in the lowest nonempty level's lowest nonempty bucket.
+   - Popping with level 0 empty pulls the lowest nonempty bucket of the
+     lowest nonempty level [j]: its (key, ord)-minimum becomes the new
+     [last] and the bucket's events relink into levels [< j] (they all
+     share byte [j] with the new [last]).  A bucket is pulled apart at
+     most once per level per event, and for the clustered keys a
+     simulation produces nearly every event goes straight to level 0
+     and is never moved again.
+   - Within level [j], later arrivals always land in buckets at or
+     above [byte j of ulast], so a per-level cursor scans each level's
+     256 bucket heads monotonically between pulls from higher levels.
+
+   Hot paths are straight-line int arithmetic plus unsafe array traffic;
+   every node index is below [hw] and every bucket index below 2048 by
+   construction, and the public entry points check emptiness. *)
+
+type t = {
+  mutable last : int;  (* floor; no live key is below it *)
+  mutable size : int;
+  (* node pool: parallel fields plus free-list/bucket links *)
+  mutable keys : int array;
+  mutable ords : int array;
+  mutable pf1 : int array;
+  mutable pf2 : int array;
+  mutable pf3 : int array;
+  mutable nxt : int array;
+  mutable hw : int;  (* nodes [0, hw) have been allocated at least once *)
+  mutable free : int;  (* free-list head; -1 = none *)
+  heads : int array;  (* 8 levels * 256 bucket list heads; -1 = empty *)
+  counts : int array;  (* live events per level *)
+  cur : int array;  (* per-level bucket scan cursor *)
+  mutable min_node : int;  (* materialized minimum; -1 = unknown *)
+  mutable min_prev : int;  (* its predecessor in the bucket list; -1 = head *)
+}
+
+let n_heads = 8 * 256
+
+let create ?(capacity = 256) () =
+  let cap = Stdlib.max capacity 16 in
+  {
+    last = Stdlib.min_int;
+    size = 0;
+    keys = Array.make cap 0;
+    ords = Array.make cap 0;
+    pf1 = Array.make cap 0;
+    pf2 = Array.make cap 0;
+    pf3 = Array.make cap 0;
+    nxt = Array.make cap 0;
+    hw = 0;
+    free = -1;
+    heads = Array.make n_heads (-1);
+    counts = Array.make 8 0;
+    cur = Array.make 8 0;
+    min_node = -1;
+    min_prev = -1;
+  }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let clear t =
+  Array.fill t.heads 0 n_heads (-1);
+  Array.fill t.counts 0 8 0;
+  Array.fill t.cur 0 8 0;
+  t.hw <- 0;
+  t.free <- -1;
+  t.size <- 0;
+  t.last <- Stdlib.min_int;
+  t.min_node <- -1;
+  t.min_prev <- -1
+
+let grow_pool t =
+  let cap = Array.length t.keys in
+  let ncap = 2 * cap in
+  let extend a =
+    let b = Array.make ncap 0 in
+    Array.blit a 0 b 0 cap;
+    b
+  in
+  t.keys <- extend t.keys;
+  t.ords <- extend t.ords;
+  t.pf1 <- extend t.pf1;
+  t.pf2 <- extend t.pf2;
+  t.pf3 <- extend t.pf3;
+  t.nxt <- extend t.nxt
+
+(* Level of [x = key lxor last]: index of its highest nonzero byte.  An
+   ascending compare ladder — simulation keys cluster near [last], so
+   the first branch almost always takes.  Negative [x] means the top
+   (sign) bit differs: level 7. *)
+let[@inline] level_of x =
+  if x < 0 then 7
+  else if x < 0x100 then 0
+  else if x < 0x10000 then 1
+  else if x < 0x1000000 then 2
+  else if x < 0x100000000 then 3
+  else if x < 0x10000000000 then 4
+  else if x < 0x1000000000000 then 5
+  else if x < 0x100000000000000 then 6
+  else 7
+
+let add t ~key ~ord ~f1 ~f2 ~f3 =
+  if key < t.last then
+    invalid_arg "Packed_queue.add: key below the current minimum";
+  let j = level_of (key lxor t.last) in
+  let b = ((key lxor Stdlib.min_int) lsr (j lsl 3)) land 0xFF in
+  let h = (j lsl 8) lor b in
+  (* A key equal to the materialized minimum joins its bucket; the
+     cached minimum may no longer be the ord-smallest, so rescan. *)
+  if j = 0 && b = Array.unsafe_get t.cur 0 then t.min_node <- -1;
+  let n =
+    match t.free with
+    | -1 ->
+        if t.hw = Array.length t.keys then grow_pool t;
+        let n = t.hw in
+        t.hw <- n + 1;
+        n
+    | n ->
+        t.free <- Array.unsafe_get t.nxt n;
+        n
+  in
+  Array.unsafe_set t.keys n key;
+  Array.unsafe_set t.ords n ord;
+  Array.unsafe_set t.pf1 n f1;
+  Array.unsafe_set t.pf2 n f2;
+  Array.unsafe_set t.pf3 n f3;
+  Array.unsafe_set t.nxt n (Array.unsafe_get t.heads h);
+  Array.unsafe_set t.heads h n;
+  Array.unsafe_set t.counts j (Array.unsafe_get t.counts j + 1);
+  t.size <- t.size + 1
+
+(* Level 0 is empty but the queue is not: pull apart the lowest
+   nonempty bucket of the lowest nonempty level.  Its minimum becomes
+   the new [last]; every event of the bucket relinks strictly below
+   level [j] (all of them now agree with [last] on byte [j] and above),
+   so this terminates and amortizes. *)
+let pull_up t =
+  let j = ref 1 in
+  while Array.unsafe_get t.counts !j = 0 do
+    incr j
+  done;
+  let j = !j in
+  let base = j lsl 8 in
+  let b = ref (Array.unsafe_get t.cur j) in
+  while Array.unsafe_get t.heads (base lor !b) < 0 do
+    incr b
+  done;
+  let h = base lor !b in
+  let keys = t.keys
+  and ords = t.ords
+  and nxt = t.nxt
+  and heads = t.heads
+  and counts = t.counts in
+  (* (key, ord)-minimum of the bucket *)
+  let head = Array.unsafe_get heads h in
+  let m = ref head in
+  let mk = ref (Array.unsafe_get keys head) in
+  let n = ref (Array.unsafe_get nxt head) in
+  while !n >= 0 do
+    let k = Array.unsafe_get keys !n in
+    if
+      k < !mk
+      || k = !mk
+         && Array.unsafe_get ords !n < Array.unsafe_get ords !m
+    then begin
+      m := !n;
+      mk := k
+    end;
+    n := Array.unsafe_get nxt !n
+  done;
+  let last = !mk in
+  t.last <- last;
+  let ulast = last lxor Stdlib.min_int in
+  for i = 0 to j - 1 do
+    Array.unsafe_set t.cur i ((ulast lsr (i lsl 3)) land 0xFF)
+  done;
+  Array.unsafe_set t.cur j (!b + 1);
+  (* Relink every event of the bucket at its new, strictly lower
+     level. *)
+  let n = ref head in
+  let moved = ref 0 in
+  while !n >= 0 do
+    let node = !n in
+    n := Array.unsafe_get nxt node;
+    let k = Array.unsafe_get keys node in
+    let i = level_of (k lxor last) in
+    let b' = ((k lxor Stdlib.min_int) lsr (i lsl 3)) land 0xFF in
+    let h' = (i lsl 8) lor b' in
+    Array.unsafe_set nxt node (Array.unsafe_get heads h');
+    Array.unsafe_set heads h' node;
+    Array.unsafe_set counts i (Array.unsafe_get counts i + 1);
+    incr moved
+  done;
+  Array.unsafe_set heads h (-1);
+  Array.unsafe_set counts j (Array.unsafe_get counts j - !moved)
+
+(* Materialize the minimum: afterwards [min_node] is the ord-minimum of
+   the level-0 bucket at the cursor, all of whose keys equal [t.last]
+   (the floor advances to the materialized minimum — sound, because
+   buckets only depend on the bytes of [last] at or above their level,
+   and only byte 0 changes here). *)
+let[@inline never] refresh t =
+  if Array.unsafe_get t.counts 0 = 0 then pull_up t;
+  let heads = t.heads
+  and ords = t.ords
+  and nxt = t.nxt in
+  let c = ref (Array.unsafe_get t.cur 0) in
+  while Array.unsafe_get heads !c < 0 do
+    incr c
+  done;
+  Array.unsafe_set t.cur 0 !c;
+  let head = Array.unsafe_get heads !c in
+  let m = ref head in
+  let mp = ref (-1) in
+  let prev = ref head in
+  let n = ref (Array.unsafe_get nxt head) in
+  while !n >= 0 do
+    if Array.unsafe_get ords !n < Array.unsafe_get ords !m then begin
+      m := !n;
+      mp := !prev
+    end;
+    prev := !n;
+    n := Array.unsafe_get nxt !n
+  done;
+  t.min_node <- !m;
+  t.min_prev <- !mp;
+  t.last <- Array.unsafe_get t.keys !m
+
+let[@inline] ensure t = if t.min_node < 0 then refresh t
+
+let min_key t =
+  if t.size = 0 then invalid_arg "Packed_queue.min_key: empty queue";
+  ensure t;
+  t.last
+
+let min_ord t =
+  if t.size = 0 then invalid_arg "Packed_queue.min_ord: empty queue";
+  ensure t;
+  Array.unsafe_get t.ords t.min_node
+
+let min_f1 t =
+  if t.size = 0 then invalid_arg "Packed_queue.min_f1: empty queue";
+  ensure t;
+  Array.unsafe_get t.pf1 t.min_node
+
+let min_f2 t =
+  if t.size = 0 then invalid_arg "Packed_queue.min_f2: empty queue";
+  ensure t;
+  Array.unsafe_get t.pf2 t.min_node
+
+let min_f3 t =
+  if t.size = 0 then invalid_arg "Packed_queue.min_f3: empty queue";
+  ensure t;
+  Array.unsafe_get t.pf3 t.min_node
+
+let drop_min t =
+  if t.size = 0 then invalid_arg "Packed_queue.drop_min: empty queue";
+  ensure t;
+  let n = t.min_node in
+  let succ = Array.unsafe_get t.nxt n in
+  (match t.min_prev with
+  | -1 -> Array.unsafe_set t.heads (Array.unsafe_get t.cur 0) succ
+  | p -> Array.unsafe_set t.nxt p succ);
+  Array.unsafe_set t.nxt n t.free;
+  t.free <- n;
+  Array.unsafe_set t.counts 0 (Array.unsafe_get t.counts 0 - 1);
+  t.size <- t.size - 1;
+  t.min_node <- -1;
+  t.min_prev <- -1

@@ -1,0 +1,53 @@
+(** Monotone min-priority queue of packed simulation events.
+
+    The engine's steady-state queue: events are five unboxed int fields
+    ordered lexicographically by [(key, ord)].  [key] is a
+    {!Sim_time.key_of_t} bit-cast fire time (so the queue compares ints,
+    never floats) and [ord] is the engine's tie-break word (monotone
+    sequence number with the event kind in its low bits).  [f1]..[f3]
+    are opaque payload words.
+
+    The queue is {e monotone}: simulation never schedules into the past,
+    so [add] requires the new key to be at least the current minimum
+    (more precisely, at least the largest key ever returned as the
+    minimum) and raises [Invalid_argument] otherwise.  A fresh or
+    {!clear}ed queue accepts any key.  Monotonicity is what lets the
+    implementation be a radix heap — amortized O(1) bucket operations
+    instead of an O(log n) sift per pop.
+
+    No operation allocates once the per-bucket high-water capacity is
+    reached.  All [min_*] accessors and [drop_min] raise
+    [Invalid_argument] on an empty queue — check {!length} first on hot
+    paths. *)
+
+type t
+
+(** [create ?capacity ()] makes an empty queue; [capacity] (default 256)
+    only seeds the internal bucket sizes, which double on demand. *)
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+(** Remove all events and reset the monotonicity floor (keeps
+    capacity). *)
+val clear : t -> unit
+
+(** [add t ~key ~ord ~f1 ~f2 ~f3] enqueues an event.  Raises
+    [Invalid_argument] if [key] is below the current minimum. *)
+val add : t -> key:int -> ord:int -> f1:int -> f2:int -> f3:int -> unit
+
+(** Smallest [(key, ord)] event's fields, without removing it. *)
+val min_key : t -> int
+
+val min_ord : t -> int
+
+val min_f1 : t -> int
+
+val min_f2 : t -> int
+
+val min_f3 : t -> int
+
+(** Remove the smallest [(key, ord)] event. *)
+val drop_min : t -> unit

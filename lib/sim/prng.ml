@@ -1,10 +1,17 @@
-type t = { mutable state : int64 }
+(* The 64-bit state lives in an 8-byte [Bytes] rather than a
+   [mutable int64] record field: [Bytes.set_int64_le] stores the raw
+   bits in place, while an int64 field store would box a fresh int64 on
+   every draw.  The stream is bit-identical to the record version. *)
+type t = Bytes.t
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = seed }
+let create seed =
+  let t = Bytes.create 8 in
+  Bytes.set_int64_le t 0 seed;
+  t
 
-let copy t = { state = t.state }
+let copy t = Bytes.sub t 0 8
 
 (* splitmix64 finalizer: Steele, Lea & Flood, OOPSLA 2014. *)
 let mix z =
@@ -13,14 +20,15 @@ let mix z =
   Int64.(logxor z (shift_right_logical z 31))
 
 let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+  let s = Int64.add (Bytes.get_int64_le t 0) golden_gamma in
+  Bytes.set_int64_le t 0 s;
+  mix s
 
 let split t =
   let seed = next_int64 t in
   (* Mixing once more decorrelates the child stream from the parent's
      subsequent outputs. *)
-  { state = mix seed }
+  create (mix seed)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";

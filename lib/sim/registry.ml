@@ -42,6 +42,20 @@ let ensure_proc c proc =
     c.per_proc <- nbuf
   end
 
+type handle = counter
+
+let handle ?(procs = 0) t name =
+  let c = find_counter t name in
+  if procs > 0 then ensure_proc c (procs - 1);
+  c
+
+let inc_handle c ~proc =
+  c.total <- c.total + 1;
+  if proc >= 0 then begin
+    ensure_proc c proc;
+    c.per_proc.(proc) <- c.per_proc.(proc) + 1
+  end
+
 let inc ?proc ?(by = 1) t name =
   let c = find_counter t name in
   c.total <- c.total + by;

@@ -21,6 +21,22 @@ val create : unit -> t
     ids are counted in the total only). *)
 val inc : ?proc:int -> ?by:int -> t -> string -> unit
 
+(** A pre-resolved counter.  {!inc} performs a [Hashtbl] lookup (and an
+    [option] allocation) per call; hot paths resolve the counter once
+    with {!handle} and bump it with {!inc_handle}, which allocates
+    nothing. *)
+type handle
+
+(** [handle ?procs t name] resolves (creating if needed) counter [name].
+    [procs] pre-sizes the per-process array for ids [0..procs-1] so
+    later increments never grow it. *)
+val handle : ?procs:int -> t -> string -> handle
+
+(** [inc_handle h ~proc] bumps the counter by 1, attributing to [proc]
+    unless [proc] is negative.  Allocation-free once the per-process
+    array covers [proc]. *)
+val inc_handle : handle -> proc:int -> unit
+
 (** Total for a counter; [0] if it was never incremented. *)
 val counter_total : t -> string -> int
 

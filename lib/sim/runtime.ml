@@ -10,6 +10,7 @@ type ('msg, 'state) ctx = {
   decide : int -> unit;
   has_decided : unit -> bool;
   rng : Prng.t;
+  scratch : Scratch.t;
   note : string -> unit;
   count : string -> unit;
   oracle_time : unit -> Sim_time.t;

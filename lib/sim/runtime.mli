@@ -21,6 +21,9 @@ type ('msg, 'state) ctx = {
   decide : int -> unit;
   has_decided : unit -> bool;
   rng : Prng.t;  (** per-process deterministic randomness *)
+  scratch : Scratch.t;
+      (** reusable per-process workspace for handler-local temporaries;
+          see {!Scratch} for the aliasing rules *)
   note : string -> unit;  (** trace annotation; may be a no-op *)
   count : string -> unit;
       (** bump a named protocol counter in the run's metrics

@@ -16,6 +16,20 @@ let max = Float.max
 
 let is_finite t = Float.is_finite t
 
+(* Non-negative IEEE-754 doubles order the same as their bit patterns,
+   so an instant can be carried as an immediate int (no float box) on
+   the engine's hot path.  The sign bit of a non-negative double is 0,
+   so the bit pattern is a 63-bit unsigned value and the [Int64.to_int]
+   truncation is lossless — but patterns with bit 62 set (all doubles
+   >= 2.0) would read as negative OCaml ints, so we flip bit 62
+   ([lxor min_int]) to turn the unsigned-63 ordering into the native
+   signed ordering. *)
+let[@inline] key_of_t t = Int64.to_int (Int64.bits_of_float t) lxor Stdlib.min_int
+
+let[@inline] t_of_key k =
+  Int64.float_of_bits
+    (Int64.logand (Int64.of_int (k lxor Stdlib.min_int)) Int64.max_int)
+
 let in_window t ~lo ~hi = lo <= t && t <= hi
 
 let to_string t =

@@ -30,6 +30,16 @@ val max : t -> t -> t
 (** [false] exactly for {!infinity} (and NaN). *)
 val is_finite : t -> bool
 
+(** [key_of_t t] is an int encoding of [t]'s IEEE-754 bit pattern.  For
+    non-negative instants (every simulated time, including
+    {!infinity}) keys order exactly as the times do, so the event
+    queue can compare instants with int compares and carry them in
+    unboxed fields.  Not meaningful for negative times or NaN. *)
+val key_of_t : t -> int
+
+(** Inverse of {!key_of_t}. *)
+val t_of_key : int -> t
+
 (** [in_window t ~lo ~hi] is [lo <= t && t <= hi]. *)
 val in_window : t -> lo:t -> hi:t -> bool
 

@@ -1,11 +1,22 @@
-(* Structured execution traces, v2.
+(* Structured execution traces, v3.
 
-   Storage is a circular buffer over a growable array: unbounded traces
-   double the array when full (amortized O(1) record, no per-entry list
-   cells), bounded traces overwrite the oldest entry once [capacity] is
-   reached so long realtime runs record in constant memory.  Entries are
-   appended in non-decreasing time order (engine time is monotone), which
-   is what makes windowed queries O(log n + window) via binary search. *)
+   Storage is a ring of fixed-width 96-byte binary records in a single
+   [Bytes] buffer: recording an entry writes a tag byte, a
+   payload-presence bitmask, the time's IEEE-754 bits, and up to ten
+   64-bit integer slots — no per-entry heap blocks.  Strings (payload
+   kinds, details, note text) are interned in a per-trace table and
+   recorded by index; identical strings are stored once per run.
+
+   Unbounded traces double the buffer when full; bounded traces
+   overwrite the oldest record once [capacity] is reached, so long
+   realtime runs record in constant memory.  Entries are appended in
+   non-decreasing time order (engine time is monotone), which is what
+   makes windowed queries O(log n + window) via binary search.
+
+   The [entry] variant is the decode layer: [get]/[iter]/[entries]
+   materialize entries on demand (cold paths — assertions, rendering,
+   JSONL export).  JSONL is derived from the binary records on export
+   and re-imported losslessly; it is no longer the recording format. *)
 
 type payload = {
   kind : string;
@@ -65,26 +76,65 @@ let time_of = function
   | Note { t; _ } ->
       t
 
+(* --- binary record layout -------------------------------------------
+
+   off 0      tag byte (tag_* below)
+   off 1      payload-presence bitmask (mask_* bits; message tags only)
+   off 8      entry time, IEEE-754 bits, little-endian
+   off 16+8k  int64 slot k, k in 0..9
+
+   Send/Deliver/Drop: slots id, src, dst, kind_idx, detail_idx,
+                      session, ballot, phase, round, value
+   Timer_set:         slots proc, tag, fire_at-bits
+   Timer_fire:        slots proc, tag
+   Crash/Restart:     slot  proc
+   Decide:            slots proc, value
+   Note:              slots proc, text_idx                            *)
+
+let rec_size = 96
+
+let tag_send = 1
+let tag_deliver = 2
+let tag_drop = 3
+let tag_timer_set = 4
+let tag_timer_fire = 5
+let tag_crash = 6
+let tag_restart = 7
+let tag_decide = 8
+let tag_note = 9
+
+let mask_session = 1
+let mask_ballot = 2
+let mask_phase = 4
+let mask_round = 8
+let mask_value = 16
+
 type t = {
   enabled : bool;
   capacity : int;  (* 0 = unbounded *)
-  mutable buf : entry array;
-  mutable first : int;  (* ring index of the oldest retained entry *)
+  mutable buf : Bytes.t;
+  mutable first : int;  (* ring index (in records) of the oldest entry *)
   mutable len : int;  (* retained entries *)
   mutable total : int;  (* entries ever recorded, retained or not *)
+  (* string interning: [strs.(0 .. nstrs-1)] are the distinct strings
+     ever recorded; records refer to them by index *)
+  mutable strs : string array;
+  mutable nstrs : int;
+  str_ids : (string, int) Hashtbl.t;
 }
-
-let dummy = Note { t = Sim_time.zero; proc = 0; text = "" }
 
 let create ?(capacity = 0) ~enabled () =
   if capacity < 0 then invalid_arg "Trace.create: negative capacity";
   {
     enabled;
     capacity;
-    buf = [||];
+    buf = Bytes.create 0;
     first = 0;
     len = 0;
     total = 0;
+    strs = Array.make 16 "";
+    nstrs = 0;
+    str_ids = Hashtbl.create 16;
   }
 
 let enabled t = t.enabled
@@ -97,37 +147,221 @@ let dropped_oldest t = t.total - t.len
 
 let capacity t = if t.capacity = 0 then None else Some t.capacity
 
-let record t e =
-  if t.enabled then begin
-    t.total <- t.total + 1;
-    let cap = Array.length t.buf in
-    if t.capacity > 0 && t.len = t.capacity then begin
-      (* Bounded and full: overwrite the oldest slot. *)
-      t.buf.((t.first + t.len) mod cap) <- e;
-      t.first <- (t.first + 1) mod cap
-    end
-    else begin
-      if t.len = cap then begin
-        (* Grow (respecting the bound, if any): unwind the ring so the
-           oldest entry sits at index 0 of the new array. *)
-        let want = Stdlib.max 64 (2 * cap) in
-        let want = if t.capacity > 0 then Stdlib.min want t.capacity else want in
-        let nbuf = Array.make want dummy in
-        for i = 0 to t.len - 1 do
-          nbuf.(i) <- t.buf.((t.first + i) mod (Stdlib.max 1 cap))
-        done;
-        t.buf <- nbuf;
-        t.first <- 0
+let intern t s =
+  match Hashtbl.find_opt t.str_ids s with
+  | Some i -> i
+  | None ->
+      let i = t.nstrs in
+      if i = Array.length t.strs then begin
+        let nbuf = Array.make (2 * i) "" in
+        Array.blit t.strs 0 nbuf 0 i;
+        t.strs <- nbuf
       end;
-      t.buf.((t.first + t.len) mod Array.length t.buf) <- e;
-      t.len <- t.len + 1
-    end
+      t.strs.(i) <- s;
+      t.nstrs <- i + 1;
+      Hashtbl.add t.str_ids s i;
+      i
+
+let ring_cap t = Bytes.length t.buf / rec_size
+
+let grow t =
+  (* Grow (respecting the bound, if any): unwind the ring so the oldest
+     record sits at index 0 of the new buffer. *)
+  let cap = ring_cap t in
+  let want = Stdlib.max 64 (2 * cap) in
+  let want = if t.capacity > 0 then Stdlib.min want t.capacity else want in
+  let nbuf = Bytes.create (want * rec_size) in
+  if t.len > 0 then begin
+    let head = Stdlib.min t.len (cap - t.first) in
+    Bytes.blit t.buf (t.first * rec_size) nbuf 0 (head * rec_size);
+    if head < t.len then
+      Bytes.blit t.buf 0 nbuf (head * rec_size) ((t.len - head) * rec_size)
+  end;
+  t.buf <- nbuf;
+  t.first <- 0
+
+(* Byte offset of the record slot the next entry should be written to,
+   advancing the ring bookkeeping. *)
+let write_slot t =
+  t.total <- t.total + 1;
+  if t.capacity > 0 && t.len = t.capacity then begin
+    (* Bounded and full: overwrite the oldest slot. *)
+    let cap = ring_cap t in
+    let idx = (t.first + t.len) mod cap in
+    t.first <- (t.first + 1) mod cap;
+    idx * rec_size
+  end
+  else begin
+    if t.len = ring_cap t then grow t;
+    let idx = (t.first + t.len) mod ring_cap t in
+    t.len <- t.len + 1;
+    idx * rec_size
   end
 
+let set_slot t off k v =
+  Bytes.set_int64_le t.buf (off + 16 + (8 * k)) (Int64.of_int v)
+
+let get_slot t off k = Int64.to_int (Bytes.get_int64_le t.buf (off + 16 + (8 * k)))
+
+let set_time t off tm =
+  Bytes.set_int64_le t.buf (off + 8) (Int64.bits_of_float tm)
+
+let get_time t off = Int64.float_of_bits (Bytes.get_int64_le t.buf (off + 8))
+
+let set_tag t off tag mask =
+  Bytes.unsafe_set t.buf off (Char.unsafe_chr tag);
+  Bytes.unsafe_set t.buf (off + 1) (Char.unsafe_chr mask)
+
+(* --- typed recorders ------------------------------------------------ *)
+
+let record_message tr tag ~t ~id ~src ~dst p =
+  if tr.enabled then begin
+    let kind_idx = intern tr p.kind in
+    let detail_idx = intern tr p.detail in
+    let off = write_slot tr in
+    let mask = ref 0 in
+    let opt m k = function
+      | None -> set_slot tr off k 0
+      | Some v ->
+          mask := !mask lor m;
+          set_slot tr off k v
+    in
+    set_time tr off t;
+    set_slot tr off 0 id;
+    set_slot tr off 1 src;
+    set_slot tr off 2 dst;
+    set_slot tr off 3 kind_idx;
+    set_slot tr off 4 detail_idx;
+    opt mask_session 5 p.session;
+    opt mask_ballot 6 p.ballot;
+    opt mask_phase 7 p.phase;
+    opt mask_round 8 p.round;
+    opt mask_value 9 p.value;
+    set_tag tr off tag !mask
+  end
+
+let record_send tr ~t ~id ~src ~dst p = record_message tr tag_send ~t ~id ~src ~dst p
+
+let record_deliver tr ~t ~id ~src ~dst p =
+  record_message tr tag_deliver ~t ~id ~src ~dst p
+
+let record_drop tr ~t ~id ~src ~dst p = record_message tr tag_drop ~t ~id ~src ~dst p
+
+let record_timer_set tr ~t ~proc ~tag ~fire_at =
+  if tr.enabled then begin
+    let off = write_slot tr in
+    set_time tr off t;
+    set_slot tr off 0 proc;
+    set_slot tr off 1 tag;
+    Bytes.set_int64_le tr.buf (off + 16 + 16) (Int64.bits_of_float fire_at);
+    set_tag tr off tag_timer_set 0
+  end
+
+let record_timer_fire tr ~t ~proc ~tag =
+  if tr.enabled then begin
+    let off = write_slot tr in
+    set_time tr off t;
+    set_slot tr off 0 proc;
+    set_slot tr off 1 tag;
+    set_tag tr off tag_timer_fire 0
+  end
+
+let record_proc_event tr tag ~t ~proc =
+  if tr.enabled then begin
+    let off = write_slot tr in
+    set_time tr off t;
+    set_slot tr off 0 proc;
+    set_tag tr off tag 0
+  end
+
+let record_crash tr ~t ~proc = record_proc_event tr tag_crash ~t ~proc
+
+let record_restart tr ~t ~proc = record_proc_event tr tag_restart ~t ~proc
+
+let record_decide tr ~t ~proc ~value =
+  if tr.enabled then begin
+    let off = write_slot tr in
+    set_time tr off t;
+    set_slot tr off 0 proc;
+    set_slot tr off 1 value;
+    set_tag tr off tag_decide 0
+  end
+
+let record_note tr ~t ~proc text =
+  if tr.enabled then begin
+    let text_idx = intern tr text in
+    let off = write_slot tr in
+    set_time tr off t;
+    set_slot tr off 0 proc;
+    set_slot tr off 1 text_idx;
+    set_tag tr off tag_note 0
+  end
+
+let record tr e =
+  match e with
+  | Send { t; id; src; dst; payload } -> record_send tr ~t ~id ~src ~dst payload
+  | Deliver { t; id; src; dst; payload } ->
+      record_deliver tr ~t ~id ~src ~dst payload
+  | Drop { t; id; src; dst; payload } -> record_drop tr ~t ~id ~src ~dst payload
+  | Timer_set { t; proc; tag; fire_at } ->
+      record_timer_set tr ~t ~proc ~tag ~fire_at
+  | Timer_fire { t; proc; tag } -> record_timer_fire tr ~t ~proc ~tag
+  | Crash { t; proc } -> record_crash tr ~t ~proc
+  | Restart { t; proc } -> record_restart tr ~t ~proc
+  | Decide { t; proc; value } -> record_decide tr ~t ~proc ~value
+  | Note { t; proc; text } -> record_note tr ~t ~proc text
+
+(* --- decode --------------------------------------------------------- *)
+
+let offset_of tr i = (tr.first + i) mod ring_cap tr * rec_size
+
+let decode tr off =
+  let tag = Char.code (Bytes.get tr.buf off) in
+  let t = get_time tr off in
+  if tag <= tag_drop then begin
+    let mask = Char.code (Bytes.get tr.buf (off + 1)) in
+    let opt m k = if mask land m <> 0 then Some (get_slot tr off k) else None in
+    let payload =
+      {
+        kind = tr.strs.(get_slot tr off 3);
+        session = opt mask_session 5;
+        ballot = opt mask_ballot 6;
+        phase = opt mask_phase 7;
+        round = opt mask_round 8;
+        value = opt mask_value 9;
+        detail = tr.strs.(get_slot tr off 4);
+      }
+    in
+    let id = get_slot tr off 0
+    and src = get_slot tr off 1
+    and dst = get_slot tr off 2 in
+    if tag = tag_send then Send { t; id; src; dst; payload }
+    else if tag = tag_deliver then Deliver { t; id; src; dst; payload }
+    else Drop { t; id; src; dst; payload }
+  end
+  else if tag = tag_timer_set then
+    Timer_set
+      {
+        t;
+        proc = get_slot tr off 0;
+        tag = get_slot tr off 1;
+        fire_at = Int64.float_of_bits (Bytes.get_int64_le tr.buf (off + 16 + 16));
+      }
+  else if tag = tag_timer_fire then
+    Timer_fire { t; proc = get_slot tr off 0; tag = get_slot tr off 1 }
+  else if tag = tag_crash then Crash { t; proc = get_slot tr off 0 }
+  else if tag = tag_restart then Restart { t; proc = get_slot tr off 0 }
+  else if tag = tag_decide then
+    Decide { t; proc = get_slot tr off 0; value = get_slot tr off 1 }
+  else Note { t; proc = get_slot tr off 0; text = tr.strs.(get_slot tr off 1) }
+
 (* [get t i]: the [i]th oldest retained entry, 0-based. *)
-let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of bounds";
-  t.buf.((t.first + i) mod Array.length t.buf)
+let get tr i =
+  if i < 0 || i >= tr.len then invalid_arg "Trace.get: index out of bounds";
+  decode tr (offset_of tr i)
+
+(* Time of the [i]th oldest retained entry without decoding it. *)
+let time_at tr i = get_time tr (offset_of tr i)
 
 let iter f t =
   for i = 0 to t.len - 1 do
@@ -147,7 +381,7 @@ let first_at_or_after t time =
   let lo = ref 0 and hi = ref t.len in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if Sim_time.compare (time_of (get t mid)) time < 0 then lo := mid + 1
+    if Sim_time.compare (time_at t mid) time < 0 then lo := mid + 1
     else hi := mid
   done;
   !lo
@@ -213,9 +447,12 @@ let pp fmt t = iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) t
 (* JSONL export / import                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* The export format is one flat JSON object per line.  Keeping values
-   limited to strings, ints and floats lets [of_jsonl] use a tiny
-   hand-rolled parser instead of a JSON dependency. *)
+(* The export format is one flat JSON object per line, derived from the
+   binary records on demand.  Keeping values limited to strings, ints
+   and floats lets [of_jsonl] use a tiny hand-rolled parser instead of
+   a JSON dependency.  Emission goes through {!Numfmt} rather than
+   [Printf]: the bytes are pinned (test_numfmt.ml) to the historical
+   sprintf forms, so existing fixtures and parsers are unaffected. *)
 
 let json_escape buf s =
   Buffer.add_char buf '"';
@@ -227,14 +464,13 @@ let json_escape buf s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c when Char.code c < 0x20 -> Numfmt.add_u4_hex buf (Char.code c)
       | c -> Buffer.add_char buf c)
     s;
   Buffer.add_char buf '"'
 
 (* "%.17g" round-trips every finite float through float_of_string. *)
-let add_float buf f = Buffer.add_string buf (Printf.sprintf "%.17g" f)
+let add_float sc buf f = Numfmt.add_g17 sc buf f
 
 let add_field buf ~first k v =
   if not !first then Buffer.add_char buf ',';
@@ -244,10 +480,10 @@ let add_field buf ~first k v =
   v ()
 
 let add_int_field buf ~first k i =
-  add_field buf ~first k (fun () -> Buffer.add_string buf (string_of_int i))
+  add_field buf ~first k (fun () -> Numfmt.add_int buf i)
 
-let add_float_field buf ~first k f =
-  add_field buf ~first k (fun () -> add_float buf f)
+let add_float_field sc buf ~first k f =
+  add_field buf ~first k (fun () -> add_float sc buf f)
 
 let add_str_field buf ~first k s =
   add_field buf ~first k (fun () -> json_escape buf s)
@@ -265,12 +501,12 @@ let add_payload buf ~first p =
   add_opt_int_field buf ~first "value" p.value;
   if p.detail <> "" then add_str_field buf ~first "detail" p.detail
 
-let add_entry buf e =
+let add_entry sc buf e =
   Buffer.add_char buf '{';
   let first = ref true in
   let msg ev t id src dst payload =
     add_str_field buf ~first "ev" ev;
-    add_float_field buf ~first "t" t;
+    add_float_field sc buf ~first "t" t;
     add_int_field buf ~first "id" id;
     add_int_field buf ~first "src" src;
     add_int_field buf ~first "dst" dst;
@@ -282,45 +518,46 @@ let add_entry buf e =
   | Drop { t; id; src; dst; payload } -> msg "drop" t id src dst payload
   | Timer_set { t; proc; tag; fire_at } ->
       add_str_field buf ~first "ev" "timer_set";
-      add_float_field buf ~first "t" t;
+      add_float_field sc buf ~first "t" t;
       add_int_field buf ~first "proc" proc;
       add_int_field buf ~first "tag" tag;
-      add_float_field buf ~first "fire_at" fire_at
+      add_float_field sc buf ~first "fire_at" fire_at
   | Timer_fire { t; proc; tag } ->
       add_str_field buf ~first "ev" "timer_fire";
-      add_float_field buf ~first "t" t;
+      add_float_field sc buf ~first "t" t;
       add_int_field buf ~first "proc" proc;
       add_int_field buf ~first "tag" tag
   | Crash { t; proc } ->
       add_str_field buf ~first "ev" "crash";
-      add_float_field buf ~first "t" t;
+      add_float_field sc buf ~first "t" t;
       add_int_field buf ~first "proc" proc
   | Restart { t; proc } ->
       add_str_field buf ~first "ev" "restart";
-      add_float_field buf ~first "t" t;
+      add_float_field sc buf ~first "t" t;
       add_int_field buf ~first "proc" proc
   | Decide { t; proc; value } ->
       add_str_field buf ~first "ev" "decide";
-      add_float_field buf ~first "t" t;
+      add_float_field sc buf ~first "t" t;
       add_int_field buf ~first "proc" proc;
       add_int_field buf ~first "value" value
   | Note { t; proc; text } ->
       add_str_field buf ~first "ev" "note";
-      add_float_field buf ~first "t" t;
+      add_float_field sc buf ~first "t" t;
       add_int_field buf ~first "proc" proc;
       add_str_field buf ~first "text" text);
   Buffer.add_string buf "}\n"
 
 let entry_to_json e =
   let buf = Buffer.create 128 in
-  add_entry buf e;
+  add_entry (Numfmt.scratch ()) buf e;
   (* strip the trailing newline for single-entry rendering *)
   let s = Buffer.contents buf in
   String.sub s 0 (String.length s - 1)
 
 let to_jsonl t =
   let buf = Buffer.create (256 * t.len) in
-  iter (add_entry buf) t;
+  let sc = Numfmt.scratch () in
+  iter (add_entry sc buf) t;
   Buffer.contents buf
 
 (* --- import -------------------------------------------------------- *)

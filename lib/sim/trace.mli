@@ -3,11 +3,16 @@
     Recording is optional (scenarios enable it); when disabled every call
     is a no-op, so protocols can trace unconditionally.
 
-    Storage is a ring buffer over a growable array.  An {e unbounded}
-    trace ([capacity = 0], the default) retains every entry; a {e bounded}
-    trace overwrites the oldest entry once full, so long realtime runs can
-    record in constant memory.  Entries are appended in non-decreasing
-    time order, which makes windowed queries [O(log n + window)].
+    Storage is a ring of fixed-width binary records in a single [Bytes]
+    buffer (see OBSERVABILITY.md for the record format); strings are
+    interned per trace.  Recording through the typed [record_*]
+    functions allocates no per-entry heap blocks; the [entry] variant
+    below is the decode layer, materialized on demand by [get] and
+    friends.  An {e unbounded} trace ([capacity = 0], the default)
+    retains every entry; a {e bounded} trace overwrites the oldest entry
+    once full, so long realtime runs can record in constant memory.
+    Entries are appended in non-decreasing time order, which makes
+    windowed queries [O(log n + window)].
 
     Message entries ([Send]/[Deliver]/[Drop]) carry a causal message
     [id]: the id minted at [Send] is threaded through to the matching
@@ -77,6 +82,35 @@ val create : ?capacity:int -> enabled:bool -> unit -> t
 val enabled : t -> bool
 
 val record : t -> entry -> unit
+
+(** {1 Typed recorders}
+
+    Equivalent to {!record} on the matching constructor, but writing the
+    binary record directly — no intermediate [entry] (or payload option)
+    blocks.  The engine's hot path uses these; [record] remains for
+    callers that already hold an [entry]. *)
+
+val record_send :
+  t -> t:Sim_time.t -> id:int -> src:int -> dst:int -> payload -> unit
+
+val record_deliver :
+  t -> t:Sim_time.t -> id:int -> src:int -> dst:int -> payload -> unit
+
+val record_drop :
+  t -> t:Sim_time.t -> id:int -> src:int -> dst:int -> payload -> unit
+
+val record_timer_set :
+  t -> t:Sim_time.t -> proc:int -> tag:int -> fire_at:Sim_time.t -> unit
+
+val record_timer_fire : t -> t:Sim_time.t -> proc:int -> tag:int -> unit
+
+val record_crash : t -> t:Sim_time.t -> proc:int -> unit
+
+val record_restart : t -> t:Sim_time.t -> proc:int -> unit
+
+val record_decide : t -> t:Sim_time.t -> proc:int -> value:int -> unit
+
+val record_note : t -> t:Sim_time.t -> proc:int -> string -> unit
 
 (** Retained entries, oldest first. *)
 val entries : t -> entry list

@@ -164,8 +164,12 @@ let maybe_decide ctx st =
 let learn_chosen ctx st instance cmd =
   if Imap.mem instance st.chosen then st
   else begin
-    if not (Command.is_noop cmd) then
-      Engine.note ctx (Printf.sprintf "chosen:%d" cmd.Command.id);
+    if not (Command.is_noop cmd) then begin
+      let buf = Sim.Scratch.buffer (Engine.scratch ctx) in
+      Buffer.add_string buf "chosen:";
+      Sim.Numfmt.add_int buf cmd.Command.id;
+      Engine.note ctx (Buffer.contents buf)
+    end;
     let st =
       {
         st with
@@ -389,7 +393,10 @@ let handle_submit ctx st =
   if st.next_submit >= Array.length st.workload then st
   else begin
     let _, cmd = st.workload.(st.next_submit) in
-    Engine.note ctx (Printf.sprintf "submit:%d" cmd.Command.id);
+    let buf = Sim.Scratch.buffer (Engine.scratch ctx) in
+    Buffer.add_string buf "submit:";
+    Sim.Numfmt.add_int buf cmd.Command.id;
+    Engine.note ctx (Buffer.contents buf);
     let st = { st with next_submit = st.next_submit + 1 } in
     schedule_next_submission ctx st;
     let st =

@@ -1,0 +1,11 @@
+(* R9: per-event allocation in a handler — sprintf allocates and
+   re-interprets its format string on every message, and (@) copies its
+   whole left operand. *)
+let handle_vote st votes v =
+  let note = Printf.sprintf "vote:%d" v in
+  let votes = votes @ [ v ] in
+  (note, votes, st)
+
+let step st log entry = { st with log = log @ [ entry ] }
+
+let on_message _ctx st m = Format.asprintf "m%d" m :: st

@@ -1,0 +1,140 @@
+(* Allocation budgets for the simulation hot path.
+
+   The engine's contract after the packed-event rework: the steady-state
+   event loop — pop, dispatch, network decision, re-schedule — allocates
+   {e nothing} when tracing is off, the network policy draws no floats
+   from the PRNG, and the protocol handlers themselves do not allocate.
+   [Harness.Hotpath.pinger] is exactly that configuration, and its
+   steady-state slope must be 0.0 words/event, measured — not asserted
+   from first principles — via [Gc.minor_words] differencing.
+
+   Everything else carries a documented, pinned budget:
+
+   - the timer path boxes its [local_delay] float at the context-closure
+     boundary and the drifted-clock conversion returns a boxed float
+     (cross-module calls are not inlined in the dev profile), so
+     [Hotpath.ticker] has a small nonzero slope;
+   - real protocols allocate in their handlers (message values, state
+     records, lists) and during boot/decide, and RNG-drawing network
+     policies box each [Prng.float] result.  Their budgets are whole-run
+     averages (total minor words / events processed) over a fixed
+     scenario, pinned ~2x above the measured value so a regression that
+     doubles per-event garbage fails loudly while GC-parameter noise does
+     not.
+
+   All runs here are deterministic (fixed seed), so the measured values
+   are reproducible modulo OCaml-version codegen differences. *)
+
+let horizon_lo = 1.0
+
+let horizon_hi = 11.0
+
+let test_engine_loop_is_allocation_free () =
+  let slope =
+    Harness.Hotpath.alloc_words_per_event Harness.Hotpath.pinger ~n:3
+      ~horizon_lo ~horizon_hi
+  in
+  Alcotest.(check (float 0.)) "steady-state words/event" 0.0 slope
+
+(* Boxed floats on the set_timer path (the [local_delay] argument boxes
+   at the context-closure boundary; measured slope 2.0 words/event),
+   pinned with headroom for codegen variation across compiler versions. *)
+let timer_budget = 8.
+
+let test_timer_path_budget () =
+  let slope =
+    Harness.Hotpath.alloc_words_per_event Harness.Hotpath.ticker ~n:3
+      ~horizon_lo ~horizon_hi
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "timer slope %.2f words/event within [0, %.0f]" slope
+       timer_budget)
+    true
+    (slope >= 0. && slope <= timer_budget)
+
+(* Whole-run budgets for the real protocols, over the conformance-style
+   scenario below.  Measured (dev profile, OCaml 5.1): modified-paxos
+   54.3, ungated 54.3, traditional 60.1, rotating 42.2, b-consensus
+   104.3 words/event — handler-side allocation (message/state values,
+   quorum sets) plus the boxed floats the RNG-drawing network policy
+   produces.  Budgets are ~2x measured. *)
+
+let delta = 0.01
+
+let ts = 0.5
+
+let scenario ~n =
+  Sim.Scenario.make ~name:"alloc-budget" ~n ~ts ~delta ~seed:424242L
+    ~network:(Sim.Network.eventually_synchronous ())
+    ~horizon:(ts +. (500. *. delta))
+    ()
+
+let words_per_event run =
+  ignore (run () : int) (* warm up: first run pays one-time setup *);
+  let w0 = Gc.minor_words () in
+  let events = run () in
+  let w1 = Gc.minor_words () in
+  (w1 -. w0) /. float_of_int events
+
+let check_budget name ~budget run =
+  let wpe = words_per_event run in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.1f words/event within [0, %.0f]" name wpe budget)
+    true
+    (wpe >= 0. && wpe <= budget)
+
+let n = 3
+
+let test_modified_paxos () =
+  let cfg = Dgl.Config.make ~n ~delta () in
+  let sc = scenario ~n in
+  check_budget "modified-paxos" ~budget:110. (fun () ->
+      (Sim.Engine.run sc (Dgl.Modified_paxos.protocol cfg))
+        .Sim.Engine.events_processed)
+
+let test_ungated_paxos () =
+  let cfg = Dgl.Config.make ~n ~delta () in
+  let options =
+    { Dgl.Modified_paxos.default_options with session_gate = false }
+  in
+  let sc = scenario ~n in
+  check_budget "ungated-paxos" ~budget:110. (fun () ->
+      (Sim.Engine.run sc (Dgl.Modified_paxos.protocol ~options cfg))
+        .Sim.Engine.events_processed)
+
+let test_traditional_paxos () =
+  let sc = scenario ~n in
+  check_budget "traditional-paxos" ~budget:120. (fun () ->
+      let oracle =
+        Baselines.Leader_election.make ~n ~ts ~delta ~faults:Sim.Fault.none ()
+      in
+      (Sim.Engine.run sc (Baselines.Traditional_paxos.protocol ~n ~delta ~oracle ()))
+        .Sim.Engine.events_processed)
+
+let test_rotating_coordinator () =
+  let sc = scenario ~n in
+  check_budget "rotating-coordinator" ~budget:90. (fun () ->
+      (Sim.Engine.run sc (Baselines.Rotating_coordinator.protocol ~n ~delta ()))
+        .Sim.Engine.events_processed)
+
+let test_b_consensus () =
+  let sc = scenario ~n in
+  check_budget "modified-b-consensus" ~budget:210. (fun () ->
+      (Sim.Engine.run sc
+         (Bconsensus.Modified_b_consensus.protocol ~n ~delta ~rho:0. ()))
+        .Sim.Engine.events_processed)
+
+let suite =
+  [
+    Alcotest.test_case "engine loop allocates nothing" `Quick
+      test_engine_loop_is_allocation_free;
+    Alcotest.test_case "timer path stays in budget" `Quick
+      test_timer_path_budget;
+    Alcotest.test_case "modified paxos run budget" `Quick test_modified_paxos;
+    Alcotest.test_case "ungated paxos run budget" `Quick test_ungated_paxos;
+    Alcotest.test_case "traditional paxos run budget" `Quick
+      test_traditional_paxos;
+    Alcotest.test_case "rotating coordinator run budget" `Quick
+      test_rotating_coordinator;
+    Alcotest.test_case "b-consensus run budget" `Quick test_b_consensus;
+  ]

@@ -13,6 +13,22 @@ let test_empty () =
   Alcotest.(check (option int)) "peek" None (Sim.Event_queue.peek_min q);
   Alcotest.(check (option int)) "pop" None (Sim.Event_queue.pop_min q)
 
+let test_exn_on_empty () =
+  let q = Sim.Event_queue.create ~cmp:compare () in
+  Alcotest.check_raises "peek_min_exn"
+    (Invalid_argument "Event_queue.peek_min_exn: empty queue") (fun () ->
+      ignore (Sim.Event_queue.peek_min_exn q : int));
+  Alcotest.check_raises "pop_min_exn"
+    (Invalid_argument "Event_queue.pop_min_exn: empty queue") (fun () ->
+      ignore (Sim.Event_queue.pop_min_exn q : int));
+  (* A drained-then-refilled queue must behave like a fresh one. *)
+  Sim.Event_queue.add q 7;
+  Alcotest.(check int) "peek_min_exn" 7 (Sim.Event_queue.peek_min_exn q);
+  Alcotest.(check int) "pop_min_exn" 7 (Sim.Event_queue.pop_min_exn q);
+  Alcotest.check_raises "pop_min_exn after drain"
+    (Invalid_argument "Event_queue.pop_min_exn: empty queue") (fun () ->
+      ignore (Sim.Event_queue.pop_min_exn q : int))
+
 let test_basic_order () =
   let q = Sim.Event_queue.of_list ~cmp:compare [ 5; 3; 9; 1; 7; 3; 0; -2 ] in
   Alcotest.(check int) "length" 8 (Sim.Event_queue.length q);
@@ -89,12 +105,44 @@ let prop_interleaved_matches_pairing_heap =
             | _ -> false)
         ops)
 
+let prop_exn_interleaved_matches_pairing_heap =
+  (* Same model check as above, but through the non-allocating accessors:
+     [peek_min_exn]/[pop_min_exn] guarded by [is_empty] must agree with
+     the pairing heap on every operation, so the engine's hot path and
+     the option API are observationally the same queue. *)
+  QCheck.Test.make ~name:"exn accessors match pairing heap" ~count:300
+    QCheck.(list (pair bool (int_bound 15)))
+    (fun ops ->
+      let q = Sim.Event_queue.create ~cmp () in
+      let h = ref (Sim.Pairing_heap.empty ~cmp) in
+      List.for_all
+        (fun (is_add, t) ->
+          if is_add then begin
+            let ev = (float_of_int t /. 4., Sim.Pairing_heap.size !h) in
+            Sim.Event_queue.add q ev;
+            h := Sim.Pairing_heap.insert !h ev;
+            true
+          end
+          else if Sim.Event_queue.is_empty q then
+            Sim.Pairing_heap.pop_min !h = None
+          else
+            let peeked = Sim.Event_queue.peek_min_exn q in
+            let popped = Sim.Event_queue.pop_min_exn q in
+            match Sim.Pairing_heap.pop_min !h with
+            | None -> false
+            | Some (y, rest) ->
+                h := rest;
+                peeked = y && popped = y)
+        ops)
+
 let suite =
   [
     Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "exn accessors on empty" `Quick test_exn_on_empty;
     Alcotest.test_case "basic order" `Quick test_basic_order;
     Alcotest.test_case "grows in place" `Quick test_grows_from_tiny_capacity;
     Alcotest.test_case "seq tie-break" `Quick test_ties_resolved_by_seq;
     QCheck_alcotest.to_alcotest prop_drains_like_pairing_heap;
     QCheck_alcotest.to_alcotest prop_interleaved_matches_pairing_heap;
+    QCheck_alcotest.to_alcotest prop_exn_interleaved_matches_pairing_heap;
   ]

@@ -48,6 +48,7 @@ let corpus =
     (Lint.Rules.R6, 4);
     (Lint.Rules.R7, 1);
     (Lint.Rules.R8, 4);
+    (Lint.Rules.R9, 4);
   ]
 
 let test_bad_fixtures () =
@@ -108,8 +109,8 @@ let test_id_round_trip () =
         (Lint.Rules.id_of_string
            (String.lowercase_ascii (Lint.Rules.id_to_string r))))
     Lint.Rules.all_ids;
-  Alcotest.(check (option rule)) "junk" None (Lint.Rules.id_of_string "R9");
-  Alcotest.(check int) "eight rules" 8 (List.length Lint.Rules.all_ids)
+  Alcotest.(check (option rule)) "junk" None (Lint.Rules.id_of_string "R10");
+  Alcotest.(check int) "nine rules" 9 (List.length Lint.Rules.all_ids)
 
 (* ------------------------------------------------------------------ *)
 (* Suppression comments                                                *)
@@ -206,7 +207,7 @@ let test_baseline_load_missing () =
 
 let test_driver_walk () =
   let r = Lint.Driver.run ~root:"." ~paths:[ fixture_dir ] () in
-  Alcotest.(check int) "all fixtures scanned" 17 r.files_scanned;
+  Alcotest.(check int) "all fixtures scanned" 19 r.files_scanned;
   Alcotest.(check bool) "bad fixtures fail the run" false (Lint.Driver.ok r);
   Alcotest.(check int) "errors" 0 (List.length r.errors);
   Alcotest.(check int) "suppressed.ml counted" 2 r.suppressed;

@@ -4,11 +4,13 @@ let () =
       ("prng", Test_prng.suite);
       ("pairing-heap", Test_pairing_heap.suite);
       ("event-queue", Test_event_queue.suite);
+      ("packed-queue", Test_packed_queue.suite);
       ("domain-pool", Test_domain_pool.suite);
       ("clock", Test_clock.suite);
       ("network", Test_network.suite);
       ("fault", Test_fault.suite);
       ("trace", Test_trace.suite);
+      ("numfmt", Test_numfmt.suite);
       ("sim-misc", Test_misc_sim.suite);
       ("engine", Test_engine.suite);
       ("consensus-lib", Test_consensus_lib.suite);
@@ -24,6 +26,7 @@ let () =
       ("realtime", Test_realtime.suite);
       ("harness", Test_harness.suite);
       ("invariants", Test_invariants.suite);
+      ("alloc", Test_alloc.suite);
       ("lint", Test_lint.suite);
       ("fuzz", Test_fuzz.suite);
     ]

@@ -1,0 +1,204 @@
+(* The packed five-field radix heap is the engine's steady-state queue.
+   These tests pin its ordering contract — lexicographic (key, ord) with
+   payload words carried faithfully, under the monotone-add discipline
+   the engine obeys — against a sort-based model, and the bit-cast time
+   keys it is fed against plain float comparison. *)
+
+let drain q =
+  let out = ref [] in
+  while not (Sim.Packed_queue.is_empty q) do
+    out :=
+      ( Sim.Packed_queue.min_key q,
+        Sim.Packed_queue.min_ord q,
+        ( Sim.Packed_queue.min_f1 q,
+          Sim.Packed_queue.min_f2 q,
+          Sim.Packed_queue.min_f3 q ) )
+      :: !out;
+    Sim.Packed_queue.drop_min q
+  done;
+  List.rev !out
+
+let model evs =
+  List.sort
+    (fun (k1, o1, _) (k2, o2, _) ->
+      let c = compare (k1 : int) k2 in
+      if c <> 0 then c else compare (o1 : int) o2)
+    evs
+
+let add_all q evs =
+  List.iter
+    (fun (key, ord, (f1, f2, f3)) -> Sim.Packed_queue.add q ~key ~ord ~f1 ~f2 ~f3)
+    evs
+
+let test_empty_raises () =
+  let q = Sim.Packed_queue.create () in
+  Alcotest.(check bool) "is_empty" true (Sim.Packed_queue.is_empty q);
+  Alcotest.(check int) "length" 0 (Sim.Packed_queue.length q);
+  let expect name f =
+    Alcotest.check_raises name
+      (Invalid_argument ("Packed_queue." ^ name ^ ": empty queue"))
+      (fun () -> ignore (f q : int))
+  in
+  expect "min_key" Sim.Packed_queue.min_key;
+  expect "min_ord" Sim.Packed_queue.min_ord;
+  expect "min_f1" Sim.Packed_queue.min_f1;
+  expect "min_f2" Sim.Packed_queue.min_f2;
+  expect "min_f3" Sim.Packed_queue.min_f3;
+  Alcotest.check_raises "drop_min"
+    (Invalid_argument "Packed_queue.drop_min: empty queue") (fun () ->
+      Sim.Packed_queue.drop_min q)
+
+let test_basic_order_and_fields () =
+  let q = Sim.Packed_queue.create ~capacity:1 () in
+  let evs =
+    [
+      (5, 0, (50, 51, 52));
+      (3, 1, (30, 31, 32));
+      (5, 2, (53, 54, 55));
+      (1, 3, (10, 11, 12));
+      (3, 4, (33, 34, 35));
+    ]
+  in
+  add_all q evs;
+  Alcotest.(check int) "length" 5 (Sim.Packed_queue.length q);
+  Alcotest.(check (list (triple int int (triple int int int))))
+    "sorted by (key, ord), fields intact" (model evs) (drain q);
+  Alcotest.(check bool) "drained" true (Sim.Packed_queue.is_empty q)
+
+let test_clear_keeps_working () =
+  let q = Sim.Packed_queue.create ~capacity:2 () in
+  for i = 0 to 99 do
+    Sim.Packed_queue.add q ~key:(100 - i) ~ord:i ~f1:i ~f2:0 ~f3:0
+  done;
+  Sim.Packed_queue.clear q;
+  Alcotest.(check int) "cleared" 0 (Sim.Packed_queue.length q);
+  let evs = [ (2, 0, (0, 0, 0)); (1, 1, (1, 1, 1)) ] in
+  add_all q evs;
+  Alcotest.(check (list (triple int int (triple int int int))))
+    "usable after clear" (model evs) (drain q)
+
+(* Heavily colliding keys (drawn from a pool of 8) with unique ords, the
+   engine's numbering scheme.  Payload words are derived from the index so
+   any field mix-up during sift-up/down shows as a value mismatch. *)
+let workload =
+  QCheck.Gen.(
+    list (int_bound 7) >|= fun keys ->
+    List.mapi (fun i k -> (k, i, (3 * i, (3 * i) + 1, (3 * i) + 2))) keys)
+
+let arbitrary_workload =
+  QCheck.make workload ~print:(fun evs ->
+      String.concat ";"
+        (List.map (fun (k, o, _) -> Printf.sprintf "(%d,%d)" k o) evs))
+
+let prop_drains_sorted =
+  QCheck.Test.make ~name:"drains in (key, ord) order with fields intact"
+    ~count:500 arbitrary_workload (fun evs ->
+      let q = Sim.Packed_queue.create ~capacity:1 () in
+      add_all q evs;
+      drain q = model evs)
+
+let prop_interleaved_matches_model =
+  (* Random add/drop interleavings against a sorted-list model: the heap
+     must agree on every minimum, not just full drains.  Added keys are
+     clamped to the largest key dropped so far — the monotone discipline
+     the engine guarantees (virtual time never runs backwards). *)
+  QCheck.Test.make ~name:"interleaved add/drop matches sorted model"
+    ~count:300
+    QCheck.(list (pair bool (int_bound 7)))
+    (fun ops ->
+      let q = Sim.Packed_queue.create ~capacity:1 () in
+      let m = ref [] in
+      let n = ref 0 in
+      let floor = ref min_int in
+      List.for_all
+        (fun (is_add, k) ->
+          if is_add then begin
+            let ev = (Stdlib.max k !floor, !n, (!n, !n + 1, !n + 2)) in
+            incr n;
+            add_all q [ ev ];
+            m := model (ev :: !m);
+            true
+          end
+          else
+            match !m with
+            | [] -> Sim.Packed_queue.is_empty q
+            | ((k, o, (f1, f2, f3)) as _min) :: rest ->
+                m := rest;
+                floor := k;
+                let got =
+                  ( Sim.Packed_queue.min_key q,
+                    Sim.Packed_queue.min_ord q,
+                    ( Sim.Packed_queue.min_f1 q,
+                      Sim.Packed_queue.min_f2 q,
+                      Sim.Packed_queue.min_f3 q ) )
+                in
+                Sim.Packed_queue.drop_min q;
+                got = (k, o, (f1, f2, f3)))
+        ops)
+
+let prop_time_keys_order_like_floats =
+  (* The engine feeds the queue Sim_time.key_of_t bit-casts.  For the
+     non-negative times a simulation produces, int comparison of keys
+     must agree with float comparison of times, and t_of_key must invert
+     key_of_t exactly. *)
+  QCheck.Test.make ~name:"Sim_time keys order like the times they encode"
+    ~count:1000
+    QCheck.(pair (float_range 0. 1e12) (float_range 0. 1e12))
+    (fun (a, b) ->
+      let ka = Sim.Sim_time.key_of_t a and kb = Sim.Sim_time.key_of_t b in
+      compare ka kb = Float.compare a b
+      && Sim.Sim_time.t_of_key ka = a
+      && Sim.Sim_time.t_of_key kb = b)
+
+let test_monotone_contract () =
+  let q = Sim.Packed_queue.create () in
+  (* Before any minimum is materialized, any keys are fine in any
+     order... *)
+  Sim.Packed_queue.add q ~key:10 ~ord:0 ~f1:0 ~f2:0 ~f3:0;
+  Sim.Packed_queue.add q ~key:5 ~ord:1 ~f1:0 ~f2:0 ~f3:0;
+  Alcotest.(check int) "min" 5 (Sim.Packed_queue.min_key q);
+  (* ...but once 5 has been observed as the minimum, keys below it are
+     rejected, even while an event at that very key is still queued. *)
+  Alcotest.check_raises "below-min add"
+    (Invalid_argument "Packed_queue.add: key below the current minimum")
+    (fun () -> Sim.Packed_queue.add q ~key:4 ~ord:2 ~f1:0 ~f2:0 ~f3:0);
+  Sim.Packed_queue.add q ~key:5 ~ord:2 ~f1:0 ~f2:0 ~f3:0;
+  Sim.Packed_queue.drop_min q;
+  Sim.Packed_queue.drop_min q;
+  Alcotest.(check int) "later key still queued" 10 (Sim.Packed_queue.min_key q);
+  (* clear resets the floor. *)
+  Sim.Packed_queue.clear q;
+  Sim.Packed_queue.add q ~key:(-7) ~ord:0 ~f1:0 ~f2:0 ~f3:0;
+  Alcotest.(check int) "post-clear min" (-7) (Sim.Packed_queue.min_key q)
+
+let test_time_key_extremes () =
+  List.iter
+    (fun t ->
+      Alcotest.(check (float 0.))
+        (Printf.sprintf "round-trip %g" t)
+        t
+        (Sim.Sim_time.t_of_key (Sim.Sim_time.key_of_t t)))
+    [ 0.; Float.min_float; 0.5; 1.; 2.; 1e300; Float.max_float ];
+  (* infinity is the engine's "never": it must round-trip and sort after
+     every finite instant. *)
+  Alcotest.(check bool)
+    "inf round-trips" true
+    (Sim.Sim_time.t_of_key (Sim.Sim_time.key_of_t Float.infinity)
+    = Float.infinity);
+  Alcotest.(check bool)
+    "inf sorts last" true
+    (Sim.Sim_time.key_of_t Float.max_float
+    < Sim.Sim_time.key_of_t Float.infinity)
+
+let suite =
+  [
+    Alcotest.test_case "empty accessors raise" `Quick test_empty_raises;
+    Alcotest.test_case "basic order and fields" `Quick
+      test_basic_order_and_fields;
+    Alcotest.test_case "clear keeps working" `Quick test_clear_keeps_working;
+    Alcotest.test_case "monotone contract" `Quick test_monotone_contract;
+    Alcotest.test_case "time-key extremes" `Quick test_time_key_extremes;
+    QCheck_alcotest.to_alcotest prop_drains_sorted;
+    QCheck_alcotest.to_alcotest prop_interleaved_matches_model;
+    QCheck_alcotest.to_alcotest prop_time_keys_order_like_floats;
+  ]
