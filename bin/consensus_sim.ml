@@ -12,11 +12,18 @@
      consensus-sim fuzz --budget 200 --seed 1 --domains 4
      consensus-sim fuzz --protocol ungated-paxos --save-corpus test/corpus
      consensus-sim replay test/corpus/liveness-fuzz-1-17.json
+     consensus-sim serve --id 0 --cluster 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103
+     consensus-sim client --cluster ... set k1 v1
+     consensus-sim client --cluster ... --load --commands 100000 --pipeline 64
+     consensus-sim client --check-recovery trace.jsonl --after 1723000000.0
      consensus-sim list
 
    Exit codes: 0 success; 1 domain failure (lint findings, trace-invariant
    violation, fuzz campaign found violations, corpus replay did not
-   reproduce); 123..125 are cmdliner's usage/internal errors. *)
+   reproduce, client load completed short, recovery bound violated);
+   3 serve/client environment failure (cannot bind the listener, no
+   cluster member reachable); 123..125 are cmdliner's usage/internal
+   errors. *)
 
 open Cmdliner
 
@@ -1077,6 +1084,379 @@ let realtime_cmd =
     Term.(const realtime_impl $ proto_arg $ n_arg $ delta_rt $ ts_rt $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / client: the real-process socket cluster                     *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_conv =
+  let parse s =
+    let endpoint hp =
+      match String.rindex_opt hp ':' with
+      | None -> failwith "endpoint must be host:port"
+      | Some i ->
+          let host = String.sub hp 0 i in
+          let port =
+            int_of_string (String.sub hp (i + 1) (String.length hp - i - 1))
+          in
+          if host = "" then failwith "empty host";
+          if port < 0 || port > 65535 then failwith "port out of range";
+          (host, port)
+    in
+    match String.split_on_char ',' s with
+    | [] | [ "" ] -> Error (`Msg "empty --cluster")
+    | parts -> (
+        try Ok (Array.of_list (List.map endpoint parts))
+        with Failure msg -> Error (`Msg ("bad --cluster: " ^ msg)))
+  in
+  let print fmt c =
+    Format.pp_print_string fmt
+      (String.concat ","
+         (List.map
+            (fun (h, p) -> Printf.sprintf "%s:%d" h p)
+            (Array.to_list c)))
+  in
+  Arg.conv (parse, print)
+
+let cluster_arg =
+  Arg.(
+    required
+    & opt (some cluster_conv) None
+    & info [ "cluster" ] ~docv:"HOST:PORT,..."
+        ~doc:
+          "Comma-separated replica endpoints, one per replica, in id \
+           order (identical on every replica and client).")
+
+let serve_impl id cluster delta batch window snapshot seed verbose =
+  if id < 0 || id >= Array.length cluster then begin
+    Printf.eprintf "serve: --id %d out of range for a %d-replica cluster\n"
+      id (Array.length cluster);
+    exit 3
+  end;
+  let cfg =
+    {
+      Smr.Replica.id;
+      cluster;
+      delta;
+      batch;
+      window;
+      snapshot;
+      snapshot_period = 0.05;
+      seed = Int64.to_int seed;
+      verbose;
+    }
+  in
+  match Smr.Replica.create cfg with
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "serve: cannot bind %s:%d: %s\n"
+        (fst cluster.(id)) (snd cluster.(id)) (Unix.error_message e);
+      exit 3
+  | exception Invalid_argument msg ->
+      Printf.eprintf "serve: %s\n" msg;
+      exit 3
+  | r ->
+      let quit _ = Smr.Replica.stop r in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+      Printf.printf "replica %d serving on %s:%d (batch %d, window %d)\n%!"
+        id (fst cluster.(id)) (Smr.Replica.port r) batch window;
+      Smr.Replica.run r;
+      let reg = Smr.Replica.registry r in
+      Printf.printf "replica %d stopped: %d requests, %d decrees applied\n%!"
+        id
+        (Sim.Registry.counter_total reg "serve_requests")
+        (Sim.Registry.counter_total reg "serve_decrees")
+
+let serve_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "id" ] ~docv:"I" ~doc:"This replica's index into --cluster.")
+  in
+  let delta_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "delta" ] ~docv:"SECONDS"
+          ~doc:"Post-stabilization delivery bound the protocol assumes.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Max client commands folded into one decree.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Max own decrees pipelined in flight.")
+  in
+  let snapshot_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"PATH"
+          ~doc:
+            "Durable-essence file: written periodically while serving, \
+             loaded on startup when present (crash recovery).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Progress chatter on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run one replica of the replicated KV service over real sockets \
+          (wire protocol: WIRE.md).  Stop with SIGTERM/SIGINT."
+       ~exits:
+         (Cmd.Exit.info 3 ~doc:"when the listener cannot bind or the \
+                                configuration is malformed."
+         :: Cmd.Exit.defaults))
+    Term.(
+      const serve_impl $ id_arg $ cluster_arg $ delta_arg $ batch_arg
+      $ window_arg $ snapshot_arg $ seed_arg $ verbose_arg)
+
+let pp_reply fmt = function
+  | Smr.Wire.R_stored -> Format.pp_print_string fmt "stored"
+  | Smr.Wire.R_value None -> Format.pp_print_string fmt "(absent)"
+  | Smr.Wire.R_value (Some v) -> Format.pp_print_string fmt v
+  | Smr.Wire.R_cas { ok = true; _ } -> Format.pp_print_string fmt "cas-ok"
+  | Smr.Wire.R_cas { ok = false; actual = None } ->
+      Format.pp_print_string fmt "cas-fail (absent)"
+  | Smr.Wire.R_cas { ok = false; actual = Some v } ->
+      Format.fprintf fmt "cas-fail (actual %s)" v
+  | Smr.Wire.R_redirect { leader } -> Format.fprintf fmt "redirect %d" leader
+  | Smr.Wire.R_error msg -> Format.fprintf fmt "error: %s" msg
+
+(* Parse one latency-trace line: {"t":<epoch>,"lat":<seconds>} *)
+let parse_trace_line line =
+  match Scanf.sscanf line "{\"t\":%f,\"lat\":%f}" (fun t l -> (t, l)) with
+  | pair -> Some pair
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
+let check_recovery_impl path after delta n =
+  let cfg = Dgl.Config.make ~n ~delta () in
+  let bound = Dgl.Config.decision_bound cfg in
+  (* CI-safe slack: real schedulers and the snapshot cadence sit on top
+     of the model's message delays *)
+  let slack = Float.max 1.0 bound in
+  let samples = ref [] in
+  let ic = open_in path in
+  (try
+     while true do
+       match parse_trace_line (input_line ic) with
+       | Some s -> samples := s :: !samples
+       | None -> ()
+     done
+   with End_of_file -> close_in ic);
+  let samples = List.rev !samples in
+  if samples = [] then begin
+    Printf.eprintf "check-recovery: %s holds no samples\n" path;
+    exit 1
+  end;
+  let settled = after +. bound +. slack in
+  let post = List.filter (fun (t, _) -> t > settled) samples in
+  let worst_post =
+    List.fold_left (fun acc (_, l) -> Float.max acc l) 0. post
+  in
+  (* longest commit stall from just before the kill to the end *)
+  let stall, _ =
+    List.fold_left
+      (fun (stall, prev) (t, _) ->
+        if t < after -. 1. then (stall, t)
+        else (Float.max stall (t -. prev), t))
+      (0., after) samples
+  in
+  Printf.printf
+    "check-recovery: kill at %.3f, decision bound %.3fs (+%.3fs slack)\n"
+    after bound slack;
+  Printf.printf
+    "  %d samples, %d after settle point; worst post-settle latency %.3fs; \
+     longest stall %.3fs\n"
+    (List.length samples) (List.length post) worst_post stall;
+  let ok = ref true in
+  if post = [] then begin
+    Printf.printf "  FAIL: no commits after the settle point\n";
+    ok := false
+  end;
+  if worst_post > bound +. slack then begin
+    Printf.printf "  FAIL: post-settle latency %.3fs exceeds %.3fs\n"
+      worst_post (bound +. slack);
+    ok := false
+  end;
+  if stall > bound +. slack then begin
+    Printf.printf "  FAIL: commit stall %.3fs exceeds %.3fs\n" stall
+      (bound +. slack);
+    ok := false
+  end;
+  if !ok then Printf.printf "  recovery bound respected\n" else exit 1
+
+let client_impl cluster member op_args load commands pipeline value_bytes
+    keyspace seed latency_trace check_recovery after delta verbose =
+  match check_recovery with
+  | Some path -> check_recovery_impl path after delta (Array.length cluster)
+  | None -> (
+      let connect () =
+        match Smr.Client.connect ~verbose ~prefer:member cluster with
+        | c -> c
+        | exception Smr.Client.Disconnected msg ->
+            Printf.eprintf "client: %s\n" msg;
+            exit 3
+      in
+      if load then begin
+        let c = connect () in
+        let report =
+          Smr.Client.run_load c
+            {
+              Smr.Client.commands;
+              pipeline;
+              value_bytes;
+              keyspace;
+              seed = Int64.to_int seed;
+              latency_trace;
+            }
+        in
+        Smr.Client.close c;
+        let reg = Sim.Registry.create () in
+        Array.iter
+          (fun l ->
+            Sim.Registry.observe reg "serve_client_latency_delta" (l /. delta))
+          report.Smr.Client.latencies;
+        let pct q = Smr.Client.percentile report.Smr.Client.latencies q in
+        Printf.printf
+          "load: %d commands in %.3fs = %.0f cmd/s (%d resubmitted, %d \
+           reconnects)\n"
+          report.Smr.Client.completed report.Smr.Client.elapsed
+          report.Smr.Client.throughput report.Smr.Client.resubmitted
+          report.Smr.Client.reconnects;
+        Printf.printf
+          "latency: p50 %.1f ms, p90 %.1f ms, p99 %.1f ms, max %.1f ms\n"
+          (1000. *. pct 0.5) (1000. *. pct 0.9) (1000. *. pct 0.99)
+          (1000. *. pct 1.0);
+        Printf.printf "%s\n" (Sim.Registry.to_json reg);
+        if report.Smr.Client.completed < commands then exit 1
+      end
+      else
+        match op_args with
+        | [ "get"; key ] ->
+            let c = connect () in
+            Format.printf "%a@." pp_reply (Smr.Client.get c key);
+            Smr.Client.close c
+        | [ "set"; key; value ] ->
+            let c = connect () in
+            Format.printf "%a@." pp_reply (Smr.Client.put c ~key ~value);
+            Smr.Client.close c
+        | [ "cas"; key; expect; set ] ->
+            let c = connect () in
+            let expect = if expect = "-" then None else Some expect in
+            Format.printf "%a@." pp_reply (Smr.Client.cas c ~key ~expect ~set);
+            Smr.Client.close c
+        | [] ->
+            Printf.eprintf
+              "client: expected an operation (get K | set K V | cas K E V, \
+               E = '-' for absent) or --load\n";
+            exit 124
+        | args ->
+            Printf.eprintf "client: cannot parse operation: %s\n"
+              (String.concat " " args);
+            exit 124)
+
+let client_cmd =
+  let ops_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"OP"
+          ~doc:
+            "Synchronous operation: $(b,get) KEY, $(b,set) KEY VALUE, or \
+             $(b,cas) KEY EXPECT NEW (EXPECT $(b,-) means absent).")
+  in
+  let load_arg =
+    Arg.(
+      value & flag
+      & info [ "load" ]
+          ~doc:"Run the closed-loop load generator instead of one operation.")
+  in
+  let member_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "member" ] ~docv:"I"
+          ~doc:
+            "Replica to talk to first (concurrent load generators should \
+             each prefer a different one).")
+  in
+  let commands_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "commands" ] ~docv:"N" ~doc:"Commands to push under --load.")
+  in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "pipeline" ] ~docv:"W"
+          ~doc:"Outstanding requests kept in flight under --load.")
+  in
+  let value_bytes_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "value-bytes" ] ~docv:"B" ~doc:"Value size under --load.")
+  in
+  let keyspace_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "keyspace" ] ~docv:"K" ~doc:"Distinct keys under --load.")
+  in
+  let latency_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "latency-trace" ] ~docv:"FILE"
+          ~doc:
+            "Write one {\"t\":epoch,\"lat\":seconds} JSONL line per \
+             completed command (input of --check-recovery).")
+  in
+  let check_recovery_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check-recovery" ] ~docv:"FILE"
+          ~doc:
+            "Assert the paper's recovery/decision bound on a recorded \
+             latency trace instead of talking to the cluster.")
+  in
+  let after_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "after" ] ~docv:"EPOCH"
+          ~doc:"Wall-clock instant of the replica kill (--check-recovery).")
+  in
+  let delta_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "delta" ] ~docv:"SECONDS"
+          ~doc:"Delta used to derive the bound (--check-recovery) and to \
+                scale latency histogram buckets (--load).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Progress chatter on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running cluster: one synchronous KV operation, the \
+          --load generator, or --check-recovery over a recorded trace."
+       ~exits:
+         (Cmd.Exit.info 1
+            ~doc:
+              "when --load completes short or --check-recovery finds the \
+               bound violated."
+         :: Cmd.Exit.info 3 ~doc:"when no cluster member is reachable."
+         :: Cmd.Exit.defaults))
+    Term.(
+      const client_impl $ cluster_arg $ member_arg $ ops_arg $ load_arg
+      $ commands_arg $ pipeline_arg $ value_bytes_arg $ keyspace_arg
+      $ seed_arg $ latency_trace_arg $ check_recovery_arg $ after_arg
+      $ delta_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
 (* fuzz / replay                                                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -1253,6 +1633,8 @@ let main =
       sweep_cmd;
       check_cmd;
       realtime_cmd;
+      serve_cmd;
+      client_cmd;
       list_cmd;
     ]
 

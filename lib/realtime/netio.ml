@@ -1,0 +1,327 @@
+(* Single-threaded Unix.select event loop: nonblocking TCP with
+   buffered reads/writes, one-shot closure timers, and the wall clock.
+   lib/realtime is the only layer allowed to read real time (lint R1);
+   everything above gets time through [now]/[wall]. *)
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  mutable connected : bool;  (* false while a nonblocking connect pends *)
+  mutable closing : bool;
+  mutable inbuf : Bytes.t;
+  mutable in_off : int;  (* first unconsumed byte *)
+  mutable in_len : int;  (* end of valid data *)
+  outq : Bytes.t Queue.t;
+  mutable out_off : int;  (* offset into the head of [outq] *)
+  mutable on_data : conn -> unit;
+  mutable on_close : conn -> unit;
+}
+
+type listener = { lfd : Unix.file_descr; on_accept : conn -> unit }
+
+type t = {
+  mutable conns : conn list;
+  mutable listeners : listener list;
+  timers : (float * int * (unit -> unit)) Sim.Event_queue.t;
+  mutable timer_seq : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  mutable stopped : bool;
+  mutable next_cid : int;
+  t0 : float;
+}
+
+(* lint: allow R1 — the realtime engine owns the wall clock *)
+let wall () = Unix.gettimeofday ()
+
+let timer_cmp (t1, s1, _) (t2, s2, _) =
+  let c = Float.compare t1 t2 in
+  if c <> 0 then c else Int.compare s1 s2
+
+let create () =
+  (* a write on a freshly closed peer socket must surface as EPIPE, not
+     kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    conns = [];
+    listeners = [];
+    timers = Sim.Event_queue.create ~cmp:timer_cmp ();
+    timer_seq = 0;
+    wake_r;
+    wake_w;
+    stopped = false;
+    next_cid = 0;
+    t0 = wall ();
+  }
+
+let now t = wall () -. t.t0
+
+let conn_id c = c.cid
+
+let after t delay fn =
+  t.timer_seq <- t.timer_seq + 1;
+  Sim.Event_queue.add t.timers (now t +. delay, t.timer_seq, fn)
+
+let rec every t period fn =
+  after t period (fun () ->
+      fn ();
+      every t period fn)
+
+let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) ->
+      ()
+
+let stop t =
+  t.stopped <- true;
+  wake t
+
+let noop_data (_ : conn) = ()
+let noop_close (_ : conn) = ()
+
+let make_conn t fd ~connected =
+  Unix.set_nonblock fd;
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true
+   with Unix.Unix_error _ -> ());
+  t.next_cid <- t.next_cid + 1;
+  let c =
+    {
+      cid = t.next_cid;
+      fd;
+      connected;
+      closing = false;
+      inbuf = Bytes.create 4096;
+      in_off = 0;
+      in_len = 0;
+      outq = Queue.create ();
+      out_off = 0;
+      on_data = noop_data;
+      on_close = noop_close;
+    }
+  in
+  t.conns <- c :: t.conns;
+  c
+
+let set_callbacks c ~on_data ~on_close =
+  c.on_data <- on_data;
+  c.on_close <- on_close
+
+let close t c =
+  if not c.closing then begin
+    c.closing <- true;
+    t.conns <- List.filter (fun o -> o.cid <> c.cid) t.conns;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    c.on_close c
+  end
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+    | h -> h.Unix.h_addr_list.(0))
+
+let listen t ~host ~port ~on_accept =
+  let addr = Unix.ADDR_INET (resolve host, port) in
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  Unix.set_nonblock lfd;
+  (try Unix.bind lfd addr
+   with e ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen lfd 64;
+  t.listeners <- { lfd; on_accept } :: t.listeners;
+  match Unix.getsockname lfd with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> port
+
+let connect t ~host ~port =
+  let addr = Unix.ADDR_INET (resolve host, port) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock fd;
+  let connected =
+    try
+      Unix.connect fd addr;
+      true
+    with
+    | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> false
+  in
+  make_conn t fd ~connected
+
+(* ---- buffered output ---- *)
+
+let flush_out t c =
+  if c.connected && not c.closing then
+    try
+      let progress = ref true in
+      while !progress && not (Queue.is_empty c.outq) do
+        let chunk = Queue.peek c.outq in
+        let len = Bytes.length chunk - c.out_off in
+        let n = Unix.write c.fd chunk c.out_off len in
+        if n = len then begin
+          ignore (Queue.pop c.outq);
+          c.out_off <- 0
+        end
+        else begin
+          c.out_off <- c.out_off + n;
+          progress := false
+        end
+      done
+    with
+    | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | Unix.Unix_error _ -> close t c
+
+let send t c bytes =
+  if not c.closing then begin
+    Queue.add bytes c.outq;
+    flush_out t c
+  end
+
+let send_buffer t c buf =
+  if Buffer.length buf > 0 then send t c (Buffer.to_bytes buf)
+
+(* Queue without flushing: lets a caller coalesce many small frames
+   into one write.  Pair with [flush] once the burst is assembled. *)
+let enqueue c bytes = if not c.closing then Queue.add bytes c.outq
+
+let flush t c = if not (Queue.is_empty c.outq) then flush_out t c
+
+let pending_out c = not (Queue.is_empty c.outq)
+
+let closing c = c.closing
+
+(* ---- buffered input ---- *)
+
+let input c = (c.inbuf, c.in_off, c.in_len - c.in_off)
+
+let consume c n =
+  c.in_off <- c.in_off + n;
+  if c.in_off >= c.in_len then begin
+    c.in_off <- 0;
+    c.in_len <- 0
+  end
+  else if c.in_off > 65536 then begin
+    (* keep the live region anchored near the front so the buffer does
+       not grow without bound under sustained pipelining *)
+    Bytes.blit c.inbuf c.in_off c.inbuf 0 (c.in_len - c.in_off);
+    c.in_len <- c.in_len - c.in_off;
+    c.in_off <- 0
+  end
+
+let read_ready t c =
+  let cap = Bytes.length c.inbuf in
+  if cap - c.in_len < 4096 then begin
+    let bigger = Bytes.create (max (cap * 2) (c.in_len + 65536)) in
+    Bytes.blit c.inbuf 0 bigger 0 c.in_len;
+    c.inbuf <- bigger
+  end;
+  match Unix.read c.fd c.inbuf c.in_len (Bytes.length c.inbuf - c.in_len) with
+  | 0 -> close t c
+  | n ->
+      c.in_len <- c.in_len + n;
+      c.on_data c
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error _ -> close t c
+
+let write_ready t c =
+  if not c.connected then begin
+    match Unix.getsockopt_error c.fd with
+    | None ->
+        c.connected <- true;
+        flush_out t c
+    | Some _ -> close t c
+  end
+  else flush_out t c
+
+(* ---- the loop ---- *)
+
+let run_due_timers t =
+  let fired = ref true in
+  while !fired do
+    fired := false;
+    match Sim.Event_queue.peek_min t.timers with
+    | Some (due, _, _) when due <= now t -> (
+        match Sim.Event_queue.pop_min t.timers with
+        | Some (_, _, fn) ->
+            fired := true;
+            fn ()
+        | None -> ())
+    | Some _ | None -> ()
+  done
+
+let step t timeout =
+  run_due_timers t;
+  let timeout =
+    match Sim.Event_queue.peek_min t.timers with
+    | Some (due, _, _) -> Float.min timeout (Float.max 0. (due -. now t))
+    | None -> timeout
+  in
+  let rfds =
+    t.wake_r
+    :: List.map (fun l -> l.lfd) t.listeners
+    @ List.filter_map
+        (fun c -> if c.connected && not c.closing then Some c.fd else None)
+        t.conns
+  in
+  let wfds =
+    List.filter_map
+      (fun c ->
+        if c.closing then None
+        else if (not c.connected) || pending_out c then Some c.fd
+        else None)
+      t.conns
+  in
+  match Unix.select rfds wfds [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | readable, writable, _ ->
+      if List.memq t.wake_r readable then begin
+        let junk = Bytes.create 64 in
+        try
+          while Unix.read t.wake_r junk 0 64 > 0 do
+            ()
+          done
+        with Unix.Unix_error _ -> ()
+      end;
+      List.iter
+        (fun l ->
+          if List.memq l.lfd readable then
+            let accepting = ref true in
+            while !accepting do
+              match Unix.accept ~cloexec:true l.lfd with
+              | fd, _ ->
+                  let c = make_conn t fd ~connected:true in
+                  l.on_accept c
+              | exception
+                  Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+                ->
+                  accepting := false
+              | exception Unix.Unix_error _ -> accepting := false
+            done)
+        t.listeners;
+      (* snapshot: callbacks may open or close connections *)
+      let snapshot = t.conns in
+      List.iter
+        (fun c -> if (not c.closing) && List.memq c.fd writable then write_ready t c)
+        snapshot;
+      List.iter
+        (fun c -> if (not c.closing) && List.memq c.fd readable then read_ready t c)
+        snapshot;
+      run_due_timers t
+
+let run t =
+  while not t.stopped do
+    step t 0.1
+  done
+
+let shutdown t =
+  List.iter (fun c -> close t c) t.conns;
+  List.iter
+    (fun l -> try Unix.close l.lfd with Unix.Unix_error _ -> ())
+    t.listeners;
+  t.listeners <- [];
+  (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

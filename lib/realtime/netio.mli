@@ -1,0 +1,95 @@
+(** Socket readiness and timers for the real-process cluster.
+
+    A {!t} is a single-threaded [Unix.select] loop owning a set of
+    nonblocking TCP connections, listeners, and one-shot closure
+    timers.  Reads and writes are fully buffered: {!send} never blocks
+    (bytes queue until the socket is writable), and incoming bytes
+    accumulate in a per-connection buffer that the [on_data] callback
+    consumes incrementally via {!input}/{!consume} — the natural shape
+    for {!Smr.Wire}-framed traffic.
+
+    This module is part of [lib/realtime], the only layer permitted to
+    read the wall clock (lint R1); code above it takes time from
+    {!now}/{!wall}. *)
+
+type t
+
+type conn
+
+val create : unit -> t
+(** Also ignores [SIGPIPE] process-wide: a peer that vanishes must
+    surface as a closed connection, not a fatal signal. *)
+
+val wall : unit -> float
+(** Wall-clock seconds since the epoch (for trace stamps). *)
+
+val resolve : string -> Unix.inet_addr
+(** Numeric IPv4 literal or hostname (first address).  Raises
+    [Not_found] when the name does not resolve. *)
+
+val now : t -> float
+(** Seconds since [create] — the loop's time base; timers use it. *)
+
+val listen :
+  t -> host:string -> port:int -> on_accept:(conn -> unit) -> int
+(** Bind and listen; returns the actual port (useful with [port:0]).
+    Raises [Unix.Unix_error] if the bind fails. *)
+
+val connect : t -> host:string -> port:int -> conn
+(** Nonblocking connect.  The connection is usable immediately — writes
+    buffer until the connect completes; a refused connect surfaces as
+    [on_close]. *)
+
+val set_callbacks :
+  conn -> on_data:(conn -> unit) -> on_close:(conn -> unit) -> unit
+(** [on_data] fires after new bytes were appended to the input buffer;
+    [on_close] fires exactly once, on EOF, error, or {!close}. *)
+
+val conn_id : conn -> int
+(** Loop-unique id, for keying tables without physical equality. *)
+
+val send : t -> conn -> Bytes.t -> unit
+(** Queue bytes for writing; attempts an eager write when possible. *)
+
+val send_buffer : t -> conn -> Buffer.t -> unit
+(** [send] the current contents of a buffer (which is not cleared). *)
+
+val enqueue : conn -> Bytes.t -> unit
+(** Queue bytes without flushing, so many small frames coalesce into one
+    [write].  Call {!flush} once the burst is assembled. *)
+
+val flush : t -> conn -> unit
+(** Flush any queued output now (no-op when the queue is empty). *)
+
+val closing : conn -> bool
+(** True once the connection has been closed (callbacks may race a
+    close; check before continuing to consume input). *)
+
+val input : conn -> Bytes.t * int * int
+(** [(buf, pos, avail)] — the unconsumed input region.  Valid until the
+    next loop iteration; decode from it, then {!consume}. *)
+
+val consume : conn -> int -> unit
+(** Discard [n] bytes from the front of the input region. *)
+
+val close : t -> conn -> unit
+(** Close now; pending unwritten output is dropped. *)
+
+val after : t -> float -> (unit -> unit) -> unit
+(** One-shot timer: run the closure [delay] seconds from now. *)
+
+val every : t -> float -> (unit -> unit) -> unit
+(** Periodic timer (re-arms itself after each firing). *)
+
+val step : t -> float -> unit
+(** One select iteration with the given timeout ceiling: fire due
+    timers, poll readiness, dispatch callbacks. *)
+
+val run : t -> unit
+(** [step] until {!stop}. *)
+
+val stop : t -> unit
+(** Stop {!run} from any thread or signal handler (self-pipe wakeup). *)
+
+val shutdown : t -> unit
+(** Close every connection, listener, and the wakeup pipe. *)

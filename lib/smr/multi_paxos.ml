@@ -34,11 +34,13 @@ type state = {
   session : Dgl.Session.t;
   ivotes : Smr_messages.ivote Imap.t;  (* accepted votes, unchosen instances *)
   chosen : Command.t Imap.t;
+  chosen_ids : Iset.t;  (* non-noop command ids present in [chosen] *)
   chosen_upto : int;  (* instances 0 .. chosen_upto-1 are all chosen *)
   pending : Command.t list;  (* submitted / forwarded, not yet chosen *)
   (* leader bookkeeping, valid for the current mbal *)
   p1b_from : Quorum.t;
   p1b_merged : Smr_messages.ivote Imap.t;
+  p1b_watermark : int;  (* max chosen_upto heard in 1b responses *)
   leading : bool;
   next_instance : int;
   proposed : Command.t Imap.t;
@@ -81,6 +83,8 @@ let register st = List.fold_left Command.apply 0 (applied st)
 
 let pending_count st = List.length st.pending
 
+let chosen_at st instance = Imap.find_opt instance st.chosen
+
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -93,8 +97,9 @@ let gossip_1a ctx st =
   Engine.broadcast ctx (Smr_messages.M1a { mbal = st.mbal });
   mark_active ctx st
 
-let chosen_id_known st id =
-  Imap.exists (fun _ c -> c.Command.id = id) st.chosen
+(* O(log n): every client submission consults this, so it must not scan
+   the chosen log (that turns the server quadratic in decrees) *)
+let chosen_id_known st id = Iset.mem id st.chosen_ids
 
 let add_pending st cmd =
   if
@@ -125,6 +130,7 @@ let adopt_ballot ctx st b =
       mbal = b;
       p1b_from = Quorum.create ~n;
       p1b_merged = Imap.empty;
+      p1b_watermark = st.chosen_upto;
       leading = false;
       proposed = Imap.empty;
       proposed_ids = Iset.empty;
@@ -174,6 +180,9 @@ let learn_chosen ctx st instance cmd =
       {
         st with
         chosen = Imap.add instance cmd st.chosen;
+        chosen_ids =
+          (if Command.is_noop cmd then st.chosen_ids
+           else Iset.add cmd.Command.id st.chosen_ids);
         ivotes = Imap.remove instance st.ivotes;
         pending =
           List.filter
@@ -225,9 +234,15 @@ let may_propose st cmd =
    noops, then ship the pending queue. *)
 let open_phase2 ctx st =
   let st = { st with leading = true } in
+  (* Everything below the quorum watermark is chosen at some responder
+     (their prefixes are contiguous): never propose there — a stale
+     1b vote or a noop gap-fill could then be chosen over the committed
+     value.  Those instances arrive through the Chosen_digest
+     exchange instead. *)
+  let floor_ = Stdlib.max st.chosen_upto st.p1b_watermark in
   let horizon =
     Imap.fold (fun i _ acc -> Stdlib.max acc (i + 1)) st.p1b_merged
-      (Stdlib.max st.chosen_upto st.next_instance)
+      (Stdlib.max floor_ st.next_instance)
   in
   let st = { st with next_instance = horizon } in
   (* anchored or chosen instances first *)
@@ -237,12 +252,13 @@ let open_phase2 ctx st =
         if Imap.mem instance st.chosen then st
         else if vote.Smr_messages.vbal = chosen_vbal then
           learn_chosen ctx st instance vote.Smr_messages.vcmd
+        else if instance < floor_ then st
         else propose_at ctx st instance vote.Smr_messages.vcmd)
       st.p1b_merged st
   in
   (* fill gaps below the horizon *)
   let st = ref st in
-  for i = 0 to horizon - 1 do
+  for i = floor_ to horizon - 1 do
     if
       (not (Imap.mem i !st.chosen))
       && (not (Imap.mem i !st.proposed))
@@ -256,7 +272,6 @@ let open_phase2 ctx st =
     st st.pending
 
 let handle_1b ctx st ~src b votes chosen_upto_src =
-  ignore chosen_upto_src;
   if
     b = st.mbal
     && Ballot.owner ~n:(n_of st) b = Engine.self ctx
@@ -274,7 +289,12 @@ let handle_1b ctx st ~src b votes chosen_upto_src =
         st.p1b_merged votes
     in
     let st =
-      { st with p1b_from = Quorum.add st.p1b_from src; p1b_merged = merged }
+      {
+        st with
+        p1b_from = Quorum.add st.p1b_from src;
+        p1b_merged = merged;
+        p1b_watermark = Stdlib.max st.p1b_watermark chosen_upto_src;
+      }
     in
     if Quorum.reached st.p1b_from then open_phase2 ctx st else st
   end
@@ -285,13 +305,24 @@ let handle_1b ctx st ~src b votes chosen_upto_src =
 (* ------------------------------------------------------------------ *)
 
 let my_1b st =
+  (* The contiguous chosen prefix [0, chosen_upto) is summarized by the
+     watermark alone; the leader backfills it through the Chosen_digest
+     exchange.  Shipping the prefix in every 1b makes phase 1 O(log) —
+     under load that eventually outlasts the session timeout and the
+     cluster livelocks on leader election.  Safety: an instance inside
+     some responder's prefix is chosen, so no new proposal is needed
+     there (open_phase2 never proposes below the quorum watermark), and
+     every instance above all watermarks still has its highest vote (or
+     its chosen value, as an infinite-ballot vote) carried here. *)
   let votes =
     Imap.fold
       (fun i v acc -> (i, v) :: acc)
       st.ivotes
       (Imap.fold
          (fun i cmd acc ->
-           (i, { Smr_messages.vbal = chosen_vbal; vcmd = cmd }) :: acc)
+           if i >= st.chosen_upto then
+             (i, { Smr_messages.vbal = chosen_vbal; vcmd = cmd }) :: acc
+           else acc)
          st.chosen [])
   in
   Smr_messages.M1b { mbal = st.mbal; votes; chosen_upto = st.chosen_upto }
@@ -493,9 +524,11 @@ let initial_state ctx cfg ~progress_gate workload total_commands =
     session = Dgl.Session.initial ~n;
     ivotes = Imap.empty;
     chosen = Imap.empty;
+    chosen_ids = Iset.empty;
     chosen_upto = 0;
     pending = [];
     p1b_from = Quorum.create ~n;
+    p1b_watermark = 0;
     p1b_merged = Imap.empty;
     leading = false;
     next_instance = 0;
@@ -517,6 +550,82 @@ let with_persist f ctx st =
   let st' = f ctx st in
   Engine.persist ctx st';
   st'
+
+(* ------------------------------------------------------------------ *)
+(* Durable essence (socket replica restart)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* What a real process must carry across a crash is exactly what its 1b
+   would report: highest ballot heard, accepted votes, and the chosen
+   log (folded in as infinite-ballot votes).  The socket replica
+   serializes this as a Wire M1b frame — one codec, CRC included. *)
+type essence = {
+  e_mbal : Ballot.t;
+  e_votes : (int * Smr_messages.ivote) list;
+  e_chosen_upto : int;
+}
+
+let essence st =
+  let votes =
+    Imap.fold
+      (fun i v acc -> (i, v) :: acc)
+      st.ivotes
+      (Imap.fold
+         (fun i cmd acc ->
+           (i, { Smr_messages.vbal = chosen_vbal; vcmd = cmd }) :: acc)
+         st.chosen [])
+  in
+  { e_mbal = st.mbal; e_votes = votes; e_chosen_upto = st.chosen_upto }
+
+let restore ?(progress_gate = true) cfg ctx e =
+  let st = initial_state ctx cfg ~progress_gate [||] 0 in
+  let chosen, ivotes =
+    List.fold_left
+      (fun (ch, iv) (i, (v : Smr_messages.ivote)) ->
+        if v.Smr_messages.vbal = chosen_vbal then
+          (Imap.add i v.Smr_messages.vcmd ch, iv)
+        else (ch, Imap.add i v iv))
+      (Imap.empty, Imap.empty) e.e_votes
+  in
+  let n = cfg.Dgl.Config.n in
+  let mbal = Stdlib.max e.e_mbal st.mbal in
+  let number = Ballot.session ~n mbal in
+  let session =
+    if number > st.session.Dgl.Session.number then
+      Dgl.Session.enter st.session ~number
+    else st.session
+  in
+  let rec advance upto = if Imap.mem upto chosen then advance (upto + 1) else upto in
+  let chosen_upto = advance (Stdlib.max 0 e.e_chosen_upto) in
+  let horizon =
+    Imap.fold
+      (fun i _ acc -> Stdlib.max acc (i + 1))
+      chosen
+      (Imap.fold (fun i _ acc -> Stdlib.max acc (i + 1)) ivotes chosen_upto)
+  in
+  let st =
+    {
+      st with
+      mbal;
+      session;
+      ivotes;
+      chosen;
+      chosen_ids =
+        Imap.fold
+          (fun _ c acc ->
+            if Command.is_noop c then acc else Iset.add c.Command.id acc)
+          chosen Iset.empty;
+      chosen_upto;
+      next_instance = horizon;
+      progress_mark = chosen_upto;
+    }
+  in
+  arm_timers ctx st;
+  (* tell peers where we stand so their digests backfill the tail we
+     lost between the last snapshot and the crash *)
+  Engine.broadcast ctx (Smr_messages.Chosen_digest { upto = st.chosen_upto });
+  Engine.persist ctx st;
+  st
 
 let protocol ?(progress_gate = true) cfg ~workloads =
   if Array.length workloads <> cfg.Dgl.Config.n then

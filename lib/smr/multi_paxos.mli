@@ -71,3 +71,34 @@ val applied : state -> Command.t list
 val register : state -> int
 
 val pending_count : state -> int
+
+(** [chosen_at st i] — the command chosen at instance [i], if any (not
+    limited to the contiguous prefix).  The socket replica uses it to
+    apply instances incrementally as [chosen_upto] advances. *)
+val chosen_at : state -> int -> Command.t option
+
+(** {2 Durable essence (socket replica restart)}
+
+    What a real process must carry across a crash is exactly what its
+    phase-1b message reports: the highest ballot heard, its accepted
+    votes, and the chosen log (folded in as infinite-ballot votes, the
+    same convention the live protocol uses).  {!essence} extracts that
+    triple; {!restore} rebuilds a working state from it on a fresh
+    process, re-arms the session and resend timers, and broadcasts a
+    [Chosen_digest] so peers backfill whatever was chosen after the
+    snapshot was taken. *)
+
+type essence = {
+  e_mbal : Ballot.t;
+  e_votes : (int * Smr_messages.ivote) list;
+  e_chosen_upto : int;
+}
+
+val essence : state -> essence
+
+val restore :
+  ?progress_gate:bool ->
+  Dgl.Config.t ->
+  (Smr_messages.t, state) Sim.Runtime.ctx ->
+  essence ->
+  state

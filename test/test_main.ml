@@ -20,6 +20,8 @@ let () =
       ("properties", Test_properties.suite);
       ("conformance", Test_conformance.suite);
       ("smr", Test_smr.suite);
+      ("wire", Test_wire.suite);
+      ("serve", Test_serve.suite);
       ("model-check", Test_mcheck.suite);
       ("model-check-engine", Test_explore.suite);
       ("model-check-bc", Test_bc_model.suite);

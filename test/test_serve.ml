@@ -1,0 +1,143 @@
+(* Single-process loopback cluster: three replicas on 127.0.0.1 with
+   port 0 (no free-port assumptions), each run on its own thread, driven
+   by the blocking client.  Exercises the whole socket stack — framing,
+   peer mesh, batching/pipelining, KV semantics, replication. *)
+
+open Smr
+
+let localhost = "127.0.0.1"
+
+let delta = 0.02
+
+let start_cluster ?(batch = 16) ?(window = 16) n =
+  let cluster = Array.make n (localhost, 0) in
+  let replicas =
+    Array.init n (fun id ->
+        Replica.create
+          {
+            (Replica.default_config ~id ~cluster) with
+            delta;
+            batch;
+            window;
+            seed = 7;
+          })
+  in
+  let ports = Array.map Replica.port replicas in
+  Array.iter (fun r -> Replica.set_peer_ports r ports) replicas;
+  let threads =
+    Array.map (fun r -> Thread.create (fun () -> Replica.run r) ()) replicas
+  in
+  (replicas, ports, threads)
+
+let stop_cluster replicas threads =
+  Array.iter Replica.stop replicas;
+  Array.iter Thread.join threads
+
+let endpoints ports = Array.map (fun p -> (localhost, p)) ports
+
+let test_kv_semantics () =
+  let replicas, ports, threads = start_cluster 3 in
+  Fun.protect
+    ~finally:(fun () -> stop_cluster replicas threads)
+    (fun () ->
+      let c = Client.connect (endpoints ports) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (match Client.get c "missing" with
+          | Wire.R_value None -> ()
+          | _ -> Alcotest.fail "get of a missing key should be absent");
+          (match Client.put c ~key:"a" ~value:"1" with
+          | Wire.R_stored -> ()
+          | _ -> Alcotest.fail "put should be acknowledged");
+          (match Client.get c "a" with
+          | Wire.R_value (Some "1") -> ()
+          | _ -> Alcotest.fail "get should see the put");
+          (match Client.cas c ~key:"a" ~expect:(Some "1") ~set:"2" with
+          | Wire.R_cas { ok = true; _ } -> ()
+          | _ -> Alcotest.fail "matching cas should succeed");
+          (match Client.cas c ~key:"a" ~expect:(Some "1") ~set:"3" with
+          | Wire.R_cas { ok = false; actual = Some "2" } -> ()
+          | _ -> Alcotest.fail "stale cas should fail with the live value");
+          match Client.get c "a" with
+          | Wire.R_value (Some "2") -> ()
+          | _ -> Alcotest.fail "failed cas must not write"))
+
+let test_pipelined_load_replicates () =
+  let replicas, ports, threads = start_cluster 3 in
+  Fun.protect
+    ~finally:(fun () -> stop_cluster replicas threads)
+    (fun () ->
+      let c = Client.connect (endpoints ports) in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            Client.run_load c
+              {
+                Client.default_load with
+                commands = 2_000;
+                pipeline = 32;
+                seed = 11;
+              })
+      in
+      Alcotest.(check int) "all commands completed" 2_000
+        report.Client.completed;
+      Alcotest.(check bool) "made progress" true
+        (report.Client.throughput > 0.);
+      (* replication: every replica converges to the same chosen count *)
+      let deadline = Unix.gettimeofday () +. 10. in
+      let converged () =
+        let counts = Array.map Replica.chosen_count replicas in
+        Array.for_all (fun c -> c = counts.(0) && c > 0) counts
+      in
+      while (not (converged ())) && Unix.gettimeofday () < deadline do
+        Thread.delay 0.05
+      done;
+      Alcotest.(check bool) "replicas converged on the chosen log" true
+        (converged ()))
+
+let test_batching_counts () =
+  (* with batch >> pipeline disabled (batch=1) every command is its own
+     decree; with batching on, decrees are far fewer than commands *)
+  let replicas, ports, threads = start_cluster ~batch:32 ~window:8 3 in
+  Fun.protect
+    ~finally:(fun () -> stop_cluster replicas threads)
+    (fun () ->
+      let c = Client.connect (endpoints ports) in
+      let report =
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            Client.run_load c
+              {
+                Client.default_load with
+                commands = 1_000;
+                pipeline = 64;
+                seed = 5;
+              })
+      in
+      Alcotest.(check int) "all commands completed" 1_000
+        report.Client.completed;
+      let batches =
+        Array.fold_left
+          (fun acc r ->
+            acc
+            + Sim.Registry.counter_total (Replica.registry r) "serve_batches")
+          0 replicas
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "batching folds commands into decrees (%d batches)"
+           batches)
+        true
+        (batches > 0 && batches < 1_000))
+
+let suite =
+  [
+    Alcotest.test_case "kv semantics over the loopback cluster" `Quick
+      test_kv_semantics;
+    Alcotest.test_case "pipelined load completes and replicates" `Quick
+      test_pipelined_load_replicates;
+    Alcotest.test_case "batching folds commands into decrees" `Quick
+      test_batching_counts;
+  ]

@@ -1,0 +1,286 @@
+(* The socket wire codec: round-trip identity, rejection of truncated
+   and corrupted frames, and byte-for-byte agreement with the worked
+   example in WIRE.md. *)
+
+open Smr
+
+(* --- equality over Wire.t (structural, via the public types) ---------- *)
+
+let reply_equal (a : Wire.reply) (b : Wire.reply) =
+  match (a, b) with
+  | Wire.R_stored, Wire.R_stored -> true
+  | Wire.R_value x, Wire.R_value y -> Option.equal String.equal x y
+  | Wire.R_cas x, Wire.R_cas y ->
+      x.ok = y.ok && Option.equal String.equal x.actual y.actual
+  | Wire.R_redirect x, Wire.R_redirect y -> x.leader = y.leader
+  | Wire.R_error x, Wire.R_error y -> String.equal x y
+  | ( ( Wire.R_stored | Wire.R_value _ | Wire.R_cas _ | Wire.R_redirect _
+      | Wire.R_error _ ),
+      _ ) ->
+      false
+
+let ivote_equal (a : Smr_messages.ivote) (b : Smr_messages.ivote) =
+  a.vbal = b.vbal && Command.equal a.vcmd b.vcmd
+
+let peer_equal (a : Smr_messages.t) (b : Smr_messages.t) =
+  match (a, b) with
+  | Smr_messages.M1a x, Smr_messages.M1a y -> x.mbal = y.mbal
+  | Smr_messages.M1b x, Smr_messages.M1b y ->
+      x.mbal = y.mbal
+      && x.chosen_upto = y.chosen_upto
+      && List.equal
+           (fun (i1, v1) (i2, v2) -> i1 = i2 && ivote_equal v1 v2)
+           x.votes y.votes
+  | Smr_messages.M2a x, Smr_messages.M2a y ->
+      x.mbal = y.mbal && x.instance = y.instance && Command.equal x.cmd y.cmd
+  | Smr_messages.M2b x, Smr_messages.M2b y ->
+      x.mbal = y.mbal && x.instance = y.instance && Command.equal x.cmd y.cmd
+  | Smr_messages.Forward x, Smr_messages.Forward y -> Command.equal x.cmd y.cmd
+  | Smr_messages.Chosen_digest x, Smr_messages.Chosen_digest y ->
+      x.upto = y.upto
+  | Smr_messages.Chosen x, Smr_messages.Chosen y ->
+      x.instance = y.instance && Command.equal x.cmd y.cmd
+  | ( ( Smr_messages.M1a _ | Smr_messages.M1b _ | Smr_messages.M2a _
+      | Smr_messages.M2b _ | Smr_messages.Forward _
+      | Smr_messages.Chosen_digest _ | Smr_messages.Chosen _ ),
+      _ ) ->
+      false
+
+let wire_equal (a : Wire.t) (b : Wire.t) =
+  match (a, b) with
+  | Wire.Hello x, Wire.Hello y -> x.sender = y.sender
+  | Wire.Peer x, Wire.Peer y -> peer_equal x y
+  | Wire.Request x, Wire.Request y ->
+      x.seq = y.seq && Command.equal x.cmd y.cmd
+  | Wire.Response x, Wire.Response y ->
+      x.seq = y.seq && reply_equal x.reply y.reply
+  | (Wire.Hello _ | Wire.Peer _ | Wire.Request _ | Wire.Response _), _ ->
+      false
+
+(* --- generators ------------------------------------------------------- *)
+
+let gen_key = QCheck.Gen.(map (Printf.sprintf "k%d") (int_bound 999))
+
+let gen_value = QCheck.Gen.(string_size (int_bound 24))
+
+let gen_simple_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun v -> Command.Set v) small_signed_int;
+        map (fun v -> Command.Add v) small_signed_int;
+        return Command.Noop;
+        map (fun k -> Command.Kv_get k) gen_key;
+        map2 (fun key value -> Command.Kv_put { key; value }) gen_key gen_value;
+        map3
+          (fun key expect set -> Command.Kv_cas { key; expect; set })
+          gen_key (opt gen_value) gen_value;
+      ])
+
+let gen_cmd =
+  QCheck.Gen.(
+    let gen_simple_cmd =
+      map2 (fun id op -> Command.make ~id op) (int_bound 100000) gen_simple_op
+    in
+    oneof
+      [
+        gen_simple_cmd;
+        map2
+          (fun id cmds -> Command.make ~id (Command.Batch cmds))
+          (int_bound 100000)
+          (list_size (int_range 0 8)
+             (map2
+                (fun id op -> Command.make ~id op)
+                (int_bound 100000) gen_simple_op));
+      ])
+
+let gen_ivote =
+  QCheck.Gen.(
+    map2
+      (fun vbal vcmd -> { Smr_messages.vbal; vcmd })
+      (int_bound 1000) gen_cmd)
+
+let gen_peer =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun mbal -> Smr_messages.M1a { mbal }) (int_bound 1000);
+        map3
+          (fun mbal votes chosen_upto ->
+            Smr_messages.M1b { mbal; votes; chosen_upto })
+          (int_bound 1000)
+          (list_size (int_range 0 6)
+             (map2 (fun i v -> (i, v)) (int_bound 100) gen_ivote))
+          (int_bound 100);
+        map3
+          (fun mbal instance cmd -> Smr_messages.M2a { mbal; instance; cmd })
+          (int_bound 1000) (int_bound 1000) gen_cmd;
+        map3
+          (fun mbal instance cmd -> Smr_messages.M2b { mbal; instance; cmd })
+          (int_bound 1000) (int_bound 1000) gen_cmd;
+        map (fun cmd -> Smr_messages.Forward { cmd }) gen_cmd;
+        map (fun upto -> Smr_messages.Chosen_digest { upto }) (int_bound 1000);
+        map2
+          (fun instance cmd -> Smr_messages.Chosen { instance; cmd })
+          (int_bound 1000) gen_cmd;
+      ])
+
+let gen_reply =
+  QCheck.Gen.(
+    oneof
+      [
+        return Wire.R_stored;
+        map (fun v -> Wire.R_value v) (opt gen_value);
+        map2
+          (fun ok actual -> Wire.R_cas { ok; actual })
+          bool (opt gen_value);
+        map (fun leader -> Wire.R_redirect { leader }) (int_bound 10);
+        map (fun m -> Wire.R_error m) (string_size (int_bound 32));
+      ])
+
+let gen_wire =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun sender -> Wire.Hello { sender }) (int_range (-1) 10);
+        map (fun m -> Wire.Peer m) gen_peer;
+        map2 (fun seq cmd -> Wire.Request { seq; cmd }) (int_bound 100000)
+          gen_cmd;
+        map2
+          (fun seq reply -> Wire.Response { seq; reply })
+          (int_bound 100000) gen_reply;
+      ])
+
+let arb_wire = QCheck.make ~print:Wire.info gen_wire
+
+(* --- properties ------------------------------------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire: encode/decode identity" ~count:500 arb_wire
+    (fun msg ->
+      let bytes = Wire.to_bytes msg in
+      match Wire.decode bytes ~pos:0 ~avail:(Bytes.length bytes) with
+      | Ok (decoded, used) ->
+          used = Bytes.length bytes && wire_equal msg decoded
+      | Error `Need_more -> QCheck.Test.fail_report "spurious Need_more"
+      | Error (`Error e) ->
+          QCheck.Test.fail_reportf "decode error: %a" Wire.pp_error e)
+
+let prop_truncated =
+  QCheck.Test.make ~name:"wire: every strict prefix wants more bytes"
+    ~count:200 arb_wire (fun msg ->
+      let bytes = Wire.to_bytes msg in
+      let ok = ref true in
+      for avail = 0 to Bytes.length bytes - 1 do
+        match Wire.decode bytes ~pos:0 ~avail with
+        | Error `Need_more -> ()
+        | Ok _ | Error (`Error _) -> ok := false
+      done;
+      !ok)
+
+let prop_bad_crc =
+  QCheck.Test.make ~name:"wire: payload corruption is caught" ~count:200
+    arb_wire (fun msg ->
+      let bytes = Wire.to_bytes msg in
+      QCheck.assume (Bytes.length bytes > Wire.header_len);
+      (* flip one bit in every payload byte in turn *)
+      let ok = ref true in
+      for i = Wire.header_len to Bytes.length bytes - 1 do
+        let orig = Bytes.get bytes i in
+        Bytes.set bytes i (Char.chr (Char.code orig lxor 0x40));
+        (match Wire.decode bytes ~pos:0 ~avail:(Bytes.length bytes) with
+        | Error (`Error Wire.Bad_crc) -> ()
+        | Ok _ | Error _ -> ok := false);
+        Bytes.set bytes i orig
+      done;
+      !ok)
+
+(* --- directed cases --------------------------------------------------- *)
+
+let hex_to_bytes s =
+  let s =
+    String.concat ""
+      (String.split_on_char ' '
+         (String.concat "" (String.split_on_char '\n' s)))
+  in
+  let n = String.length s / 2 in
+  Bytes.init n (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub s (2 * i) 2)))
+
+(* The worked `set` round trip from WIRE.md — the documented hexdump
+   must decode to exactly these messages and re-encode byte-for-byte. *)
+let documented_request =
+  "4553 0120 0000 001d 5a99 fbd9 0000 0000\n\
+   0000 0001 0000 0000 0000 0000 0400 0000\n\
+   026b 3100 0000 0276 31"
+
+let documented_response = "4553 0121 0000 0009 ff12 25ef 0000 0000 0000 0001 00"
+
+let test_wire_md_request () =
+  let bytes = hex_to_bytes documented_request in
+  match Wire.decode bytes ~pos:0 ~avail:(Bytes.length bytes) with
+  | Ok (msg, used) ->
+      Alcotest.(check int) "consumed" (Bytes.length bytes) used;
+      let expected =
+        Wire.Request
+          {
+            seq = 1;
+            cmd =
+              Command.make ~id:0
+                (Command.Kv_put { key = "k1"; value = "v1" });
+          }
+      in
+      Alcotest.(check bool) "decodes to the documented set" true
+        (wire_equal expected msg);
+      Alcotest.(check bytes) "re-encodes byte-for-byte" bytes
+        (Wire.to_bytes msg)
+  | Error `Need_more -> Alcotest.fail "documented request: Need_more"
+  | Error (`Error e) ->
+      Alcotest.failf "documented request: %a" Wire.pp_error e
+
+let test_wire_md_response () =
+  let bytes = hex_to_bytes documented_response in
+  match Wire.decode bytes ~pos:0 ~avail:(Bytes.length bytes) with
+  | Ok (msg, used) ->
+      Alcotest.(check int) "consumed" (Bytes.length bytes) used;
+      Alcotest.(check bool) "decodes to the documented stored reply" true
+        (wire_equal (Wire.Response { seq = 1; reply = Wire.R_stored }) msg);
+      Alcotest.(check bytes) "re-encodes byte-for-byte" bytes
+        (Wire.to_bytes msg)
+  | Error `Need_more -> Alcotest.fail "documented response: Need_more"
+  | Error (`Error e) ->
+      Alcotest.failf "documented response: %a" Wire.pp_error e
+
+let test_bad_magic_version_tag () =
+  let bytes = Wire.to_bytes (Wire.Hello { sender = 2 }) in
+  let mutate i v =
+    let b = Bytes.copy bytes in
+    Bytes.set b i (Char.chr v);
+    Wire.decode b ~pos:0 ~avail:(Bytes.length b)
+  in
+  (match mutate 0 0x58 with
+  | Error (`Error Wire.Bad_magic) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "bad magic not rejected");
+  (match mutate 2 0x7f with
+  | Error (`Error Wire.Bad_version) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "bad version not rejected");
+  match mutate 3 0xee with
+  | Error (`Error (Wire.Bad_tag 0xee)) -> ()
+  | Ok _ | Error _ -> Alcotest.fail "bad tag not rejected"
+
+let test_crc_vector () =
+  (* the classic check value: CRC-32("123456789") = 0xcbf43926 *)
+  Alcotest.(check int) "crc32 check vector" 0xcbf43926
+    (Wire.crc32 (Bytes.of_string "123456789") 0 9)
+
+let suite =
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
+    [ prop_roundtrip; prop_truncated; prop_bad_crc ]
+  @ [
+      Alcotest.test_case "crc32 check vector" `Quick test_crc_vector;
+      Alcotest.test_case "WIRE.md request hexdump" `Quick test_wire_md_request;
+      Alcotest.test_case "WIRE.md response hexdump" `Quick
+        test_wire_md_response;
+      Alcotest.test_case "bad magic/version/tag" `Quick
+        test_bad_magic_version_tag;
+    ]
