@@ -17,7 +17,15 @@ type conn = {
   mutable on_close : conn -> unit;
 }
 
-type listener = { lfd : Unix.file_descr; on_accept : conn -> unit }
+type listener = {
+  lfd : Unix.file_descr;
+  on_accept : conn -> unit;
+  mutable pause_until : float;
+      (* accept backoff deadline (loop time): after a persistent accept
+         error (EMFILE/ENFILE/ECONNABORTED...) the listener fd stays
+         readable, so polling it again immediately would spin select at
+         100% CPU; keep it out of rfds until the deadline passes *)
+}
 
 type t = {
   mutable conns : conn list;
@@ -134,7 +142,7 @@ let listen t ~host ~port ~on_accept =
      (try Unix.close lfd with Unix.Unix_error _ -> ());
      raise e);
   Unix.listen lfd 64;
-  t.listeners <- { lfd; on_accept } :: t.listeners;
+  t.listeners <- { lfd; on_accept; pause_until = 0. } :: t.listeners;
   match Unix.getsockname lfd with
   | Unix.ADDR_INET (_, p) -> p
   | Unix.ADDR_UNIX _ -> port
@@ -262,7 +270,9 @@ let step t timeout =
   in
   let rfds =
     t.wake_r
-    :: List.map (fun l -> l.lfd) t.listeners
+    :: List.filter_map
+         (fun l -> if l.pause_until <= now t then Some l.lfd else None)
+         t.listeners
     @ List.filter_map
         (fun c -> if c.connected && not c.closing then Some c.fd else None)
         t.conns
@@ -299,7 +309,12 @@ let step t timeout =
                   Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
                 ->
                   accepting := false
-              | exception Unix.Unix_error _ -> accepting := false
+              | exception Unix.Unix_error _ ->
+                  (* persistent failure (e.g. fd exhaustion): the fd
+                     stays readable, so back off instead of busy-spinning
+                     through select *)
+                  l.pause_until <- now t +. 0.05;
+                  accepting := false
             done)
         t.listeners;
       (* snapshot: callbacks may open or close connections *)

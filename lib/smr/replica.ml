@@ -167,6 +167,13 @@ let rec make_ctx t : (Smr_messages.t, Multi_paxos.state) Sim.Runtime.ctx =
               | (Some _ | None), _ -> ());
               service t
             end));
+    (* Durability is asynchronous by design: persist only marks the
+       state dirty and the essence is fsynced on the snapshot timer, so
+       promises/votes emitted within the last ~snapshot_period can be
+       forgotten across a SIGKILL.  This is a documented divergence from
+       the paper's synchronous stable-storage model — see "Durability
+       caveat" in DESIGN.md §5h for the safety consequences and why we
+       accept them. *)
     persist = (fun _ -> t.dirty <- true);
     decide = (fun _ -> ());
     has_decided = (fun () -> false);
@@ -279,15 +286,33 @@ and service t =
 (* ---- frames ---- *)
 
 let accept_request t conn seq (cmd : Command.t) =
-  match Command.make ~id:(fresh_uid t) cmd.Command.op with
-  | cmd ->
-      Hashtbl.replace t.reply_map cmd.Command.id
-        (Netio.conn_id conn, seq, Netio.now t.io);
-      Sim.Registry.inc ~proc:t.cfg.id t.registry "serve_requests";
-      Queue.add cmd t.backlog
-  | exception Invalid_argument reason ->
+  match cmd.Command.op with
+  | Command.Batch _ ->
+      (* The batch opcode is replica-internal (WIRE.md §5): admitting a
+         client batch would nest inside this replica's own backlog
+         folding (making [Command.make] reject the decree), and its
+         client-chosen inner ids would alias the server-stamped uid
+         namespace keying [reply_map] and the exactly-once cache. *)
+      Sim.Registry.inc ~proc:t.cfg.id t.registry "serve_rejected";
       Netio.send t.io conn
-        (Wire.to_bytes (Wire.Response { seq; reply = Wire.R_error reason }))
+        (Wire.to_bytes
+           (Wire.Response
+              {
+                seq;
+                reply = Wire.R_error "request must not carry a batch command";
+              }))
+  | Command.Set _ | Command.Add _ | Command.Noop | Command.Kv_get _
+  | Command.Kv_put _ | Command.Kv_cas _ -> (
+      match Command.make ~id:(fresh_uid t) cmd.Command.op with
+      | cmd ->
+          Hashtbl.replace t.reply_map cmd.Command.id
+            (Netio.conn_id conn, seq, Netio.now t.io);
+          Sim.Registry.inc ~proc:t.cfg.id t.registry "serve_requests";
+          Queue.add cmd t.backlog
+      | exception Invalid_argument reason ->
+          Netio.send t.io conn
+            (Wire.to_bytes
+               (Wire.Response { seq; reply = Wire.R_error reason })))
 
 let on_frame t conn msg =
   let cid = Netio.conn_id conn in
@@ -362,6 +387,12 @@ let write_snapshot t =
       let tmp = path ^ ".tmp" in
       let oc = open_out_bin tmp in
       output_bytes oc bytes;
+      flush oc;
+      (* fsync before the rename: otherwise a crash can leave the
+         renamed file empty and the replica restarts without even the
+         state it thought it had checkpointed *)
+      (try Unix.fsync (Unix.descr_of_out_channel oc)
+       with Unix.Unix_error _ -> ());
       close_out oc;
       Sys.rename tmp path;
       Sim.Registry.inc ~proc:t.cfg.id t.registry "serve_snapshots"

@@ -16,12 +16,15 @@
     - applies the contiguous chosen prefix to a {!Kv_state} and answers
       each client on the connection that submitted the command;
     - optionally snapshots its {!Multi_paxos.essence} to disk (written
-      atomically as a single Wire M1b frame) so a SIGKILLed process
-      restarts into the same ballot/vote state it last persisted, then
-      catches up the chosen tail from its peers.  Snapshotting is
-      periodic (group-commit style), so recovery additionally relies on
-      a majority of peers staying up — which is exactly the crash model
-      of the paper's restart analysis.
+      atomically: fsync, then rename; encoded as a single Wire M1b
+      frame) so a SIGKILLed process restarts into the same ballot/vote
+      state it last persisted, then catches up the chosen tail from its
+      peers.  Snapshotting is periodic (group-commit style), so the
+      last ~[snapshot_period] of promises/votes can be lost across a
+      SIGKILL — an explicit divergence from the paper's synchronous
+      stable-storage model (see "Durability caveat", DESIGN.md §5h);
+      recovery additionally relies on a majority of peers staying up,
+      which is the crash model of the paper's restart analysis.
 
     Metrics land in a {!Sim.Registry} under the [serve_*] family (see
     OBSERVABILITY.md). *)

@@ -97,6 +97,46 @@ let test_pipelined_load_replicates () =
       Alcotest.(check bool) "replicas converged on the chosen log" true
         (converged ()))
 
+let test_client_batch_rejected () =
+  (* the batch opcode is replica-internal (WIRE.md §5): a well-formed
+     client batch request must be answered with an error reply, not
+     admitted into the backlog — where the replica's own folding would
+     nest it and crash the process (regression: REVIEW finding) *)
+  let replicas, ports, threads = start_cluster 3 in
+  Fun.protect
+    ~finally:(fun () -> stop_cluster replicas threads)
+    (fun () ->
+      let c = Client.connect (endpoints ports) in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let batch =
+            Command.Batch
+              [
+                Command.make ~id:1
+                  (Command.Kv_put { key = "sneaky"; value = "1" });
+                Command.make ~id:2
+                  (Command.Kv_put { key = "sneakier"; value = "2" });
+              ]
+          in
+          (* two in a row so a folded backlog of >= 2 would have nested *)
+          (match Client.request c batch with
+          | Wire.R_error _ -> ()
+          | _ -> Alcotest.fail "client batch should be rejected");
+          (match Client.request c batch with
+          | Wire.R_error _ -> ()
+          | _ -> Alcotest.fail "client batch should be rejected");
+          (* the connection and the replica both survived the rejection *)
+          (match Client.put c ~key:"after" ~value:"ok" with
+          | Wire.R_stored -> ()
+          | _ -> Alcotest.fail "put after rejected batch should succeed");
+          (match Client.get c "after" with
+          | Wire.R_value (Some "ok") -> ()
+          | _ -> Alcotest.fail "get after rejected batch should succeed");
+          match Client.get c "sneaky" with
+          | Wire.R_value None -> ()
+          | _ -> Alcotest.fail "rejected batch must not have been applied"))
+
 let test_batching_counts () =
   (* with batch >> pipeline disabled (batch=1) every command is its own
      decree; with batching on, decrees are far fewer than commands *)
@@ -138,6 +178,8 @@ let suite =
       test_kv_semantics;
     Alcotest.test_case "pipelined load completes and replicates" `Quick
       test_pipelined_load_replicates;
+    Alcotest.test_case "client-submitted batch is rejected" `Quick
+      test_client_batch_rejected;
     Alcotest.test_case "batching folds commands into decrees" `Quick
       test_batching_counts;
   ]
