@@ -622,12 +622,16 @@ let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
   p "  \"serve_latency_p99_ms\": %s,\n" (json_float serve_p99_ms);
   p "  \"trace_invariants_ok\": %b,\n" invariants_ok;
   (match lint with
-  | Some (lint_ok, findings) ->
+  | Some (lint_ok, findings, rules_run, callgraph_nodes) ->
       p "  \"lint_ok\": %b,\n" lint_ok;
-      p "  \"lint_findings\": %d,\n" findings
+      p "  \"lint_findings\": %d,\n" findings;
+      p "  \"lint_rules_run\": %d,\n" rules_run;
+      p "  \"lint_callgraph_nodes\": %d,\n" callgraph_nodes
   | None ->
       p "  \"lint_ok\": null,\n";
-      p "  \"lint_findings\": null,\n");
+      p "  \"lint_findings\": null,\n";
+      p "  \"lint_rules_run\": null,\n";
+      p "  \"lint_callgraph_nodes\": null,\n");
   p "  \"metrics\": %s,\n" (Sim.Registry.to_json metrics);
   p "  \"micro_ns_per_run\": [";
   List.iteri
@@ -795,13 +799,15 @@ let () =
           | Error _ -> Lint.Baseline.empty
         in
         let r = Lint.Driver.run ~root ~baseline () in
-        Some (Lint.Driver.ok r, List.length r.findings)
+        Some
+          (Lint.Driver.ok r, List.length r.findings, r.rules_run,
+           r.callgraph_nodes)
   in
   (match lint with
-  | Some (lint_ok, findings) ->
-      Format.printf "lint: %s (%d findings)@."
+  | Some (lint_ok, findings, rules_run, callgraph_nodes) ->
+      Format.printf "lint: %s (%d findings, %d rules, %d graph nodes)@."
         (if lint_ok then "OK" else "FAILED")
-        findings
+        findings rules_run callgraph_nodes
   | None -> Format.printf "lint: skipped (no source tree)@.");
   let engine = engine_stats () in
   (* Socket-cluster throughput: sized so the load runs for a few seconds

@@ -1,4 +1,9 @@
-(** The compiler-libs Parsetree pass: all eight rules in one walk.
+(** The compiler-libs Parsetree pass: phase 1 of the analysis.
+
+    One walk per file evaluates the nine syntactic rules (R1-R9) and
+    extracts the unit's {!Summary.t} — definitions, referenced
+    identifier paths, taint-source reads, hot-path hazard shapes and
+    arena-slot drops — for the phase-2 whole-program fixpoints.
 
     Purely syntactic — no typing — so each rule is a conservative
     pattern over names and shapes, scoped by the file's path. *)
@@ -10,6 +15,8 @@ type scope = {
   allow_tbl_iter : bool;  (** R3 off (lib/sim/sorted_tbl.ml) *)
   module_state_scope : bool;  (** R4 on (library code) *)
   protocol_scope : bool;  (** R7/R8 on (protocol libraries) *)
+  mcheck_scope : bool;
+      (** [successors] counts as a T1/T2 entry point (lib/mcheck) *)
 }
 
 val scope_of_path : string -> scope
@@ -17,6 +24,11 @@ val scope_of_path : string -> scope
     containing [lint_fixtures] get every rule armed — that is the
     linter's own test corpus. *)
 
+val scan_unit :
+  scope:scope -> Parsetree.structure -> Rules.finding list * Summary.t
+(** The syntactic findings (sorted by {!Rules.compare_findings}) and
+    the unit summary, from one walk.  Suppression and baseline
+    filtering happen in {!Driver}. *)
+
 val scan : scope:scope -> Parsetree.structure -> Rules.finding list
-(** All findings in one file, sorted by {!Rules.compare_findings};
-    suppression and baseline filtering happen in {!Driver}. *)
+(** [fst (scan_unit ~scope s)] — the syntactic findings alone. *)

@@ -84,18 +84,32 @@ let covers t f = List.exists (fun e -> matches e f) t
 let unused t findings =
   List.filter (fun e -> not (List.exists (fun f -> matches e f) findings)) t
 
+let compare_entries a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c =
+      String.compare (Rules.id_to_string a.rule) (Rules.id_to_string b.rule)
+    in
+    if c <> 0 then c else String.compare a.context b.context
+
 let of_findings ?(reason = "grandfathered") findings =
   List.map
     (fun (f : Rules.finding) ->
       { rule = f.rule; file = f.file; context = f.context; reason })
     findings
-  |> List.sort_uniq (fun a b ->
-         let c = String.compare a.file b.file in
-         if c <> 0 then c
-         else
-           let c =
-             String.compare
-               (Rules.id_to_string a.rule)
-               (Rules.id_to_string b.rule)
-           in
-           if c <> 0 then c else String.compare a.context b.context)
+  |> List.sort_uniq compare_entries
+
+(* --update-baseline: keep entries that still match a finding (their
+   hand-written reasons survive), grandfather findings no entry covers,
+   and prune the rest.  Returns (new baseline, pruned entries). *)
+let update t findings =
+  let kept, pruned =
+    List.partition (fun e -> List.exists (matches e) findings) t
+  in
+  let uncovered =
+    List.filter (fun f -> not (List.exists (fun e -> matches e f) kept))
+      findings
+  in
+  let merged = List.sort_uniq compare_entries (kept @ of_findings uncovered) in
+  (merged, pruned)

@@ -36,3 +36,9 @@ val unused : t -> Rules.finding list -> t
 val of_findings : ?reason:string -> Rules.finding list -> t
 (** Deduplicated baseline covering the given findings, for
     [lint --update-baseline]. *)
+
+val update : t -> Rules.finding list -> t * t
+(** [update old findings] is [(merged, pruned)]: entries of [old] still
+    matching a finding survive with their hand-written reasons, findings
+    no surviving entry covers are grandfathered, and stale entries are
+    pruned (returned so the CLI can print them). *)

@@ -1,0 +1,150 @@
+(* The whole-program call graph over per-unit summaries.
+
+   Nodes are module-level definitions; edges resolve the dotted
+   identifier paths each body references against the definitions the
+   summary set declares.  Resolution is purely nominal and
+   conservative:
+
+   - a qualified reference (>= 2 components) resolves to every
+     definition whose fully-qualified path ends with those components
+     ("Engine.send" matches Sim.Engine.send; a multi-match adds an
+     edge to each candidate);
+   - a bare reference resolves within its own file only (same-unit
+     helpers; cross-unit bare names would need the open-environment,
+     which a syntactic pass does not have).
+
+   Determinism: summaries are sorted by file and nodes numbered in
+   file-then-definition order before any edge is built, so the graph —
+   and everything phase 2 derives from it — is a pure function of the
+   summary *set*, not of walk order.  The qcheck permutation property
+   in test_lint.ml pins this. *)
+
+type node = { nid : int; file : string; def : Summary.def }
+
+type t = {
+  nodes : node array;  (* indexed by nid *)
+  succ : int array array;  (* sorted, deduplicated adjacency *)
+  entries : int list;  (* ascending nids of d_entry definitions *)
+}
+
+let node_count g = Array.length g.nodes
+
+let build (summaries : Summary.t list) : t =
+  let summaries =
+    List.sort (fun a b -> String.compare a.Summary.file b.Summary.file)
+      summaries
+  in
+  let nodes =
+    List.concat_map
+      (fun (s : Summary.t) ->
+        List.map (fun d -> (s.Summary.file, d)) s.Summary.defs)
+      summaries
+    |> List.mapi (fun nid (file, def) -> { nid; file; def })
+    |> Array.of_list
+  in
+  (* suffix index: every non-empty suffix of a def's qualified path,
+     rendered dotted, maps to the nids claiming it.  A def path is at
+     most a handful of components, so this stays linear in practice. *)
+  let by_suffix : (string, int list) Hashtbl.t = Hashtbl.create 256 in
+  let by_file_name : (string * string, int list) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let add tbl key nid =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (nid :: prev)
+  in
+  Array.iter
+    (fun n ->
+      let rec suffixes = function
+        | [] -> ()
+        | _ :: rest as path ->
+            add by_suffix (String.concat "." path) n.nid;
+            suffixes rest
+      in
+      suffixes n.def.Summary.d_path;
+      add by_file_name (n.file, n.def.Summary.d_name) n.nid)
+    nodes;
+  let resolve file call =
+    if String.contains call '.' then
+      Option.value ~default:[] (Hashtbl.find_opt by_suffix call)
+    else
+      (* bare name: same-file resolution only, and never a self-loop
+         worth keeping — recursion adds nothing to reachability *)
+      Option.value ~default:[] (Hashtbl.find_opt by_file_name (file, call))
+  in
+  let succ =
+    Array.map
+      (fun n ->
+        n.def.Summary.d_calls
+        |> List.concat_map (resolve n.file)
+        |> List.filter (fun t -> t <> n.nid)
+        |> List.sort_uniq Int.compare
+        |> Array.of_list)
+      nodes
+  in
+  let entries =
+    Array.to_list nodes
+    |> List.filter_map (fun n ->
+           if n.def.Summary.d_entry then Some n.nid else None)
+  in
+  { nodes; succ; entries }
+
+(* Forward BFS from the entry set.  Visiting in ascending-nid order at
+   every frontier makes both the reachable set and the parent array
+   (first discoverer wins) deterministic, so T1/T2 witness chains are
+   stable across runs. *)
+let reach g =
+  let n = Array.length g.nodes in
+  let parent = Array.make n (-2) in
+  (* -2 unvisited, -1 entry/root *)
+  let q = Queue.create () in
+  List.iter
+    (fun e ->
+      if parent.(e) = -2 then begin
+        parent.(e) <- -1;
+        Queue.add e q
+      end)
+    (List.sort_uniq Int.compare g.entries);
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun v ->
+        if parent.(v) = -2 then begin
+          parent.(v) <- u;
+          Queue.add v q
+        end)
+      g.succ.(u)
+  done;
+  parent
+
+let reachable parent nid = parent.(nid) <> -2
+
+(* The witness chain to [nid]: entry point first, [nid] last, each
+   rendered as its fully-qualified dotted path. *)
+let chain g parent nid =
+  let rec up acc u =
+    let acc = Summary.qualified g.nodes.(u).def :: acc in
+    if parent.(u) >= 0 then up acc parent.(u) else acc
+  in
+  if not (reachable parent nid) then [] else up [] nid
+
+let to_dot fmt g =
+  let parent = reach g in
+  Format.fprintf fmt "digraph lint_callgraph {@.";
+  Format.fprintf fmt "  rankdir=LR;@.  node [fontsize=10];@.";
+  Array.iter
+    (fun n ->
+      let shape =
+        if n.def.Summary.d_entry then " shape=box style=bold"
+        else if reachable parent n.nid then " style=filled fillcolor=gray92"
+        else ""
+      in
+      Format.fprintf fmt "  n%d [label=\"%s\\n%s:%d\"%s];@." n.nid
+        (Summary.qualified n.def) n.file n.def.Summary.d_site.Summary.s_line
+        shape)
+    g.nodes;
+  Array.iteri
+    (fun u targets ->
+      Array.iter (fun v -> Format.fprintf fmt "  n%d -> n%d;@." u v) targets)
+    g.succ;
+  Format.fprintf fmt "}@."

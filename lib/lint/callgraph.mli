@@ -1,0 +1,35 @@
+(** The whole-program call graph over per-unit summaries: phase 2's
+    substrate.
+
+    Resolution is nominal and conservative — a qualified reference
+    resolves to every definition whose path ends with it, a bare
+    reference resolves same-file only.  Node numbering, adjacency and
+    BFS order are all deterministic functions of the summary set. *)
+
+type node = { nid : int; file : string; def : Summary.def }
+
+type t = {
+  nodes : node array;  (** indexed by nid, file-then-definition order *)
+  succ : int array array;  (** sorted, deduplicated adjacency *)
+  entries : int list;  (** nids of [d_entry] definitions, ascending *)
+}
+
+val build : Summary.t list -> t
+(** Order-insensitive: summaries are sorted by file before numbering. *)
+
+val node_count : t -> int
+
+val reach : t -> int array
+(** BFS parent array from the entry set: [-2] unreachable, [-1] an
+    entry point, otherwise the first-discovering predecessor.  Ascending
+    visit order makes shortest witness chains deterministic. *)
+
+val reachable : int array -> int -> bool
+
+val chain : t -> int array -> int -> string list
+(** Witness path to a node: entry point first, the node last, as
+    fully-qualified dotted names.  [[]] if unreachable. *)
+
+val to_dot : Format.formatter -> t -> unit
+(** Graphviz dump for [--call-graph dot]: entries boxed, reachable
+    nodes shaded. *)

@@ -1,17 +1,37 @@
-(* Orchestration: walk the tree, parse every .ml/.mli, run the pass,
-   apply suppressions and the baseline, render human or JSON output.
+(* Orchestration: walk the tree, parse every .ml/.mli, run the
+   two-phase analysis, apply suppressions and the baseline, render
+   human or JSON output.
+
+   Phase 1 is per-file (Ast_scan.scan_unit: syntactic findings plus
+   the unit summary); phase 2 is whole-program (Callgraph.build over
+   all summaries, then Taint.analyze).  Suppression comments apply to
+   both phases' findings; the baseline applies to error-severity
+   findings only.
+
+   Severity: findings in test/ and examples/ support code (but not in
+   the linter's own lint_fixtures corpus) are *advisory* — reported,
+   never fatal — so fixture-adjacent helpers cannot rot unseen without
+   turning every experiment script into a gate.
 
    Determinism note (the linter lints itself): directory entries are
-   sorted before walking and findings are sorted before reporting, so
-   two runs over the same tree are byte-identical. *)
+   sorted before walking, summaries are sorted before the call graph
+   is numbered, and findings/warnings are sorted before reporting, so
+   two runs over the same tree are byte-identical regardless of
+   readdir order. *)
+
+type warning = { w_file : string; w_line : int; w_message : string }
 
 type report = {
-  findings : Rules.finding list;  (* unsuppressed, unbaselined, sorted *)
-  suppressed : int;  (* silenced by (* lint: allow ... *) comments *)
+  findings : Rules.finding list;  (* fatal: unsuppressed, unbaselined *)
+  advisories : Rules.finding list;  (* test//examples/: reported, exit 0 *)
+  suppressed : int;  (* silenced by allow-comments *)
   baselined : int;  (* silenced by lint.baseline entries *)
   files_scanned : int;
   errors : (string * string) list;  (* path, message: unreadable/unparsable *)
   unused_baseline : Baseline.entry list;
+  warnings : warning list;  (* sloppy or useless allow directives *)
+  callgraph_nodes : int;
+  rules_run : int;
 }
 
 let ok r = r.findings = [] && r.errors = []
@@ -31,27 +51,36 @@ let parse_error_message path = function
   | Syntaxerr.Error _ -> Printf.sprintf "%s: syntax error" path
   | exn -> Printf.sprintf "%s: %s" path (Printexc.to_string exn)
 
-(* [rel] is the repo-relative path used for scoping and reporting;
-   [source] is the file contents. *)
-let lint_source ~rel ~source =
+(* Phase 1 on one file.  [rel] is the repo-relative path used for
+   scoping and reporting; [source] is the file contents. *)
+let scan_file ~rel ~source =
   let lexbuf = Lexing.from_string source in
   Lexing.set_filename lexbuf rel;
   if Filename.check_suffix rel ".mli" then
     (* interfaces carry no expressions; parse only to catch rot *)
     match Parse.interface lexbuf with
-    | _ -> Ok ([], 0)
+    | _ -> Ok ([], None, [], [])
     | exception exn -> Error (parse_error_message rel exn)
   else
     match Parse.implementation lexbuf with
     | structure ->
         let scope = Ast_scan.scope_of_path rel in
-        let raw = Ast_scan.scan ~scope structure in
-        let allows = Suppress.scan source in
-        let kept, dropped =
-          List.partition (fun f -> not (Suppress.suppressed allows f)) raw
-        in
-        Ok (kept, List.length dropped)
+        let raw, summary = Ast_scan.scan_unit ~scope structure in
+        let allows, warns = Suppress.scan_full source in
+        Ok (raw, Some summary, allows, warns)
     | exception exn -> Error (parse_error_message rel exn)
+
+(* The per-file pipeline alone (no whole-program phase): the syntactic
+   findings surviving this file's allow-comments, plus the suppressed
+   count.  Kept for tests and single-file tooling. *)
+let lint_source ~rel ~source =
+  match scan_file ~rel ~source with
+  | Error _ as e -> e
+  | Ok (raw, _, allows, _) ->
+      let kept, dropped =
+        List.partition (fun f -> not (Suppress.suppressed allows f)) raw
+      in
+      Ok (kept, List.length dropped)
 
 (* ------------------------------------------------------------------ *)
 (* Walking                                                             *)
@@ -59,6 +88,14 @@ let lint_source ~rel ~source =
 
 let is_source name =
   Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli"
+
+(* Directories never descended into: build artifacts, dot-dirs, the
+   linter's own deliberately-bad corpus and the fuzz replay corpus.
+   (An explicitly requested path is walked regardless — that is how
+   the fixture tests run.) *)
+let skip_dir name =
+  name = "_build" || name = "lint_fixtures" || name = "corpus"
+  || (name <> "" && name.[0] = '.')
 
 (* (absolute-or-cwd-relative path on disk, repo-relative path) pairs,
    lexicographically sorted for deterministic reports. *)
@@ -68,7 +105,7 @@ let rec collect acc ~disk ~rel =
     |> List.sort String.compare
     |> List.fold_left
          (fun acc name ->
-           if name = "_build" || (name <> "" && name.[0] = '.') then acc
+           if skip_dir name then acc
            else
              collect acc
                ~disk:(Filename.concat disk name)
@@ -90,44 +127,145 @@ let find_root () =
 (* The run                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let default_paths = [ "lib"; "bin"; "bench" ]
+let default_paths = [ "lib"; "bin"; "bench"; "examples"; "test" ]
 
-(* [paths] are repo-relative; [root] is the directory they resolve
-   against. *)
-let run ?(root = ".") ?(baseline = Baseline.empty) ?(paths = default_paths) ()
-    =
+let contains_sub needle hay =
+  let n = String.length needle and l = String.length hay in
+  let rec go i = i + n <= l && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* advisory: support code around the tests and examples — except the
+   lint fixtures, whose whole point is to fail *)
+let is_advisory rel =
+  (String.starts_with ~prefix:"test/" rel
+  || String.starts_with ~prefix:"examples/" rel)
+  && not (contains_sub "lint_fixtures" rel)
+
+let gather_files ~root paths =
   let files, missing =
     List.fold_left
       (fun (files, missing) p ->
         let disk = if root = "." then p else Filename.concat root p in
         if Sys.file_exists disk then
-          (collect files ~disk ~rel:(String.map (fun c -> if c = '\\' then '/' else c) p), missing)
+          ( collect files ~disk
+              ~rel:(String.map (fun c -> if c = '\\' then '/' else c) p),
+            missing )
         else (files, (p, "no such file or directory") :: missing))
       ([], []) paths
   in
-  let files = List.sort (fun (_, a) (_, b) -> String.compare a b) files in
-  let findings = ref [] and suppressed = ref 0 and errors = ref missing in
+  (List.sort (fun (_, a) (_, b) -> String.compare a b) files, missing)
+
+(* [paths] are repo-relative; [root] is the directory they resolve
+   against. *)
+let run ?(root = ".") ?(baseline = Baseline.empty) ?(paths = default_paths) ()
+    =
+  let files, missing = gather_files ~root paths in
+  let scanned = ref [] and errors = ref missing in
   List.iter
     (fun (disk, rel) ->
-      match lint_source ~rel ~source:(read_file disk) with
-      | Ok (fs, dropped) ->
-          findings := List.rev_append fs !findings;
-          suppressed := !suppressed + dropped
+      match scan_file ~rel ~source:(read_file disk) with
+      | Ok (raw, summary, allows, warns) ->
+          scanned := (rel, raw, summary, allows, warns) :: !scanned
       | Error msg -> errors := (rel, msg) :: !errors
       | exception Sys_error msg -> errors := (rel, msg) :: !errors)
     files;
-  let all = List.sort Rules.compare_findings !findings in
-  let kept, baselined =
-    List.partition (fun f -> not (Baseline.covers baseline f)) all
+  let scanned = List.rev !scanned in
+  (* phase 2: the whole-program analyses over all unit summaries *)
+  let graph =
+    Callgraph.build
+      (List.filter_map (fun (_, _, s, _, _) -> s) scanned)
+  in
+  let phase2 = Taint.analyze graph in
+  let allows_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun (rel, _, _, allows, _) -> Hashtbl.replace tbl rel allows)
+      scanned;
+    fun rel -> Option.value ~default:[] (Hashtbl.find_opt tbl rel)
+  in
+  let raw_all =
+    List.concat_map (fun (_, raw, _, _, _) -> raw) scanned @ phase2
+  in
+  let kept, dropped =
+    List.partition
+      (fun (f : Rules.finding) ->
+        not (Suppress.suppressed (allows_of f.file) f))
+      raw_all
+  in
+  (* allow-comments that silenced nothing at all are themselves a
+     smell.  Warnings are collected for gate-severity files only:
+     test support code legitimately embeds directive-shaped strings
+     (test_lint.ml builds sources containing them). *)
+  let warnings =
+    List.concat_map
+      (fun (rel, _, _, allows, warns) ->
+        if is_advisory rel then []
+        else
+        List.map
+          (fun (w : Suppress.warning) ->
+            { w_file = rel; w_line = w.Suppress.w_line; w_message = w.Suppress.w_message })
+          warns
+        @ List.filter_map
+            (fun (a : Suppress.allow) ->
+              if
+                List.exists
+                  (fun (f : Rules.finding) ->
+                    String.equal f.file rel && Suppress.covers a f)
+                  raw_all
+              then None
+              else
+                Some
+                  {
+                    w_file = rel;
+                    w_line = a.Suppress.line;
+                    w_message =
+                      Printf.sprintf
+                        "'lint: allow %s' suppresses nothing — delete it"
+                        (String.concat " "
+                           (List.map Rules.id_to_string a.Suppress.rules));
+                  })
+            allows)
+      scanned
+    |> List.sort (fun a b ->
+           let c = String.compare a.w_file b.w_file in
+           if c <> 0 then c
+           else
+             let c = Int.compare a.w_line b.w_line in
+             if c <> 0 then c else String.compare a.w_message b.w_message)
+  in
+  let all = List.sort Rules.compare_findings kept in
+  let fatal, advisories =
+    List.partition (fun (f : Rules.finding) -> not (is_advisory f.file)) all
+  in
+  let kept_fatal, baselined =
+    List.partition (fun f -> not (Baseline.covers baseline f)) fatal
   in
   {
-    findings = kept;
-    suppressed = !suppressed;
+    findings = kept_fatal;
+    advisories;
+    suppressed = List.length dropped;
     baselined = List.length baselined;
     files_scanned = List.length files;
     errors = List.rev !errors;
-    unused_baseline = Baseline.unused baseline all;
+    unused_baseline = Baseline.unused baseline fatal;
+    warnings;
+    callgraph_nodes = Callgraph.node_count graph;
+    rules_run = List.length Rules.all_ids;
   }
+
+(* The call graph alone, for [--call-graph dot]: same walk, no rule
+   evaluation, unparsable files skipped. *)
+let call_graph_dot ?(root = ".") ?(paths = default_paths) () =
+  let files, _ = gather_files ~root paths in
+  let summaries =
+    List.filter_map
+      (fun (disk, rel) ->
+        match scan_file ~rel ~source:(read_file disk) with
+        | Ok (_, summary, _, _) -> summary
+        | Error _ | (exception Sys_error _) -> None)
+      files
+  in
+  let g = Callgraph.build summaries in
+  Format.asprintf "%a" Callgraph.to_dot g
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -136,8 +274,15 @@ let run ?(root = ".") ?(baseline = Baseline.empty) ?(paths = default_paths) ()
 let pp_report fmt r =
   List.iter (fun f -> Format.fprintf fmt "%a@." Rules.pp_finding f) r.findings;
   List.iter
+    (fun f -> Format.fprintf fmt "advisory: %a@." Rules.pp_finding f)
+    r.advisories;
+  List.iter
     (fun (path, msg) -> Format.fprintf fmt "%s: ERROR: %s@." path msg)
     r.errors;
+  List.iter
+    (fun w ->
+      Format.fprintf fmt "%s:%d: warning: %s@." w.w_file w.w_line w.w_message)
+    r.warnings;
   List.iter
     (fun (e : Baseline.entry) ->
       Format.fprintf fmt
@@ -146,12 +291,13 @@ let pp_report fmt r =
         e.file e.context)
     r.unused_baseline;
   Format.fprintf fmt
-    "lint: %d file%s, %d finding%s (%d suppressed, %d baselined)%s@."
+    "lint: %d file%s, %d finding%s (%d advisory, %d suppressed, %d \
+     baselined), %d graph nodes%s@."
     r.files_scanned
     (if r.files_scanned = 1 then "" else "s")
     (List.length r.findings)
     (if List.length r.findings = 1 then "" else "s")
-    r.suppressed r.baselined
+    (List.length r.advisories) r.suppressed r.baselined r.callgraph_nodes
     (if ok r then ": ok" else "")
 
 let json_escape s =
@@ -170,24 +316,48 @@ let json_escape s =
   Buffer.add_char buf '"';
   Buffer.contents buf
 
+let finding_to_json (f : Rules.finding) =
+  let chain =
+    match f.chain with
+    | [] -> ""
+    | chain ->
+        Printf.sprintf ",\"chain\":[%s]"
+          (String.concat "," (List.map json_escape chain))
+  in
+  Printf.sprintf
+    "{\"rule\":%s,\"file\":%s,\"line\":%d,\"col\":%d,\"context\":%s,\"message\":%s%s}"
+    (json_escape (Rules.id_to_string f.rule))
+    (json_escape f.file) f.line f.col (json_escape f.context)
+    (json_escape f.message) chain
+
 let report_to_json r =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\"ok\":";
   Buffer.add_string buf (if ok r then "true" else "false");
   Buffer.add_string buf
-    (Printf.sprintf ",\"files_scanned\":%d,\"suppressed\":%d,\"baselined\":%d"
-       r.files_scanned r.suppressed r.baselined);
+    (Printf.sprintf
+       ",\"files_scanned\":%d,\"suppressed\":%d,\"baselined\":%d,\"callgraph_nodes\":%d,\"rules_run\":%d"
+       r.files_scanned r.suppressed r.baselined r.callgraph_nodes r.rules_run);
   Buffer.add_string buf ",\"findings\":[";
   List.iteri
-    (fun i (f : Rules.finding) ->
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (finding_to_json f))
+    r.findings;
+  Buffer.add_string buf "],\"advisories\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (finding_to_json f))
+    r.advisories;
+  Buffer.add_string buf "],\"warnings\":[";
+  List.iteri
+    (fun i w ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
-        (Printf.sprintf
-           "{\"rule\":%s,\"file\":%s,\"line\":%d,\"col\":%d,\"context\":%s,\"message\":%s}"
-           (json_escape (Rules.id_to_string f.rule))
-           (json_escape f.file) f.line f.col (json_escape f.context)
-           (json_escape f.message)))
-    r.findings;
+        (Printf.sprintf "{\"file\":%s,\"line\":%d,\"message\":%s}"
+           (json_escape w.w_file) w.w_line (json_escape w.w_message)))
+    r.warnings;
   Buffer.add_string buf "],\"errors\":[";
   List.iteri
     (fun i (path, msg) ->

@@ -7,9 +7,9 @@
    every rule is written to be cheap, predictable and suppressible at
    the site with an explicit reason. *)
 
-type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | T1 | T2 | T3
 
-let all_ids = [ R1; R2; R3; R4; R5; R6; R7; R8; R9 ]
+let all_ids = [ R1; R2; R3; R4; R5; R6; R7; R8; R9; T1; T2; T3 ]
 
 let id_to_string = function
   | R1 -> "R1"
@@ -21,6 +21,9 @@ let id_to_string = function
   | R7 -> "R7"
   | R8 -> "R8"
   | R9 -> "R9"
+  | T1 -> "T1"
+  | T2 -> "T2"
+  | T3 -> "T3"
 
 let id_of_string s =
   match String.uppercase_ascii s with
@@ -33,6 +36,9 @@ let id_of_string s =
   | "R7" -> Some R7
   | "R8" -> Some R8
   | "R9" -> Some R9
+  | "T1" -> Some T1
+  | "T2" -> Some T2
+  | "T3" -> Some T3
   | _ -> None
 
 let title = function
@@ -45,6 +51,9 @@ let title = function
   | R7 -> "wildcard arm in a protocol message-handler match"
   | R8 -> "partial function on a step/handle path"
   | R9 -> "per-event allocation on a step/handle path"
+  | T1 -> "nondeterminism taints the deterministic core"
+  | T2 -> "hot-path hazard in a step/handle-reachable helper"
+  | T3 -> "unbalanced message-arena acquire/release"
 
 let rationale = function
   | R1 ->
@@ -88,6 +97,26 @@ let rationale = function
        pays for on every run.  Advisory: build text in the ctx scratch \
        buffer with the Numfmt emitters and prefer cons + a single \
        reversal (or the scratch tables) over repeated append."
+  | T1 ->
+      "Whole-program taint: a value originating from the wall clock, \
+       ambient Random or Domain state may not flow — through calls \
+       across module boundaries — into any function reachable from a \
+       step/handle entry point or Mcheck successor generation.  Unlike \
+       R1/R2, a sited allow on the read does not cover the core: the \
+       laundered value still breaks replay.  lib/realtime is the sole \
+       declared source-sink boundary."
+  | T2 ->
+      "Whole-program reachability: the R7/R8/R9 hazards (wildcard \
+       message arms, partial functions, per-event allocation) apply to \
+       every function *transitively reachable* from a step/handle \
+       entry point, not just code lexically inside one — a helper one \
+       module over is on the hot path all the same."
+  | T3 ->
+      "Arena pairing: every message-arena acquire must be matched by \
+       exactly one release (or an explicit ownership transfer) on \
+       every control path.  A branch that drops the slot leaks it from \
+       the free list, which the test_alloc.ml slope tests only catch \
+       dynamically and only on exercised paths."
 
 type finding = {
   rule : id;
@@ -96,15 +125,23 @@ type finding = {
   col : int;  (* 0-based, as in compiler locations *)
   context : string;  (* the offending token, e.g. "Unix.gettimeofday" *)
   message : string;
+  chain : string list;
+      (* T1/T2: the witness call chain, entry point first, the
+         function containing the finding last.  [] for syntactic
+         rules. *)
 }
 
-let finding ~rule ~file ~line ~col ~context ~message =
-  { rule; file; line; col; context; message }
+let finding ?(chain = []) ~rule ~file ~line ~col ~context ~message () =
+  { rule; file; line; col; context; message; chain }
 
 let pp_finding fmt f =
-  Format.fprintf fmt "%s:%d:%d: [%s] %s (%s)" f.file f.line f.col
+  Format.fprintf fmt "%s:%d:%d: [%s] %s (%s)%s" f.file f.line f.col
     (id_to_string f.rule) f.message
     (title f.rule)
+    (match f.chain with
+    | [] -> ""
+    | chain ->
+        Printf.sprintf " [chain: %s]" (String.concat " -> " chain))
 
 let compare_findings a b =
   let c = String.compare a.file b.file in

@@ -1,17 +1,19 @@
 (** Rule catalogue for the determinism & protocol-hygiene linter.
 
-    The nine rules, what each guards, and the [finding] record every
-    stage of the pass exchanges.  See DESIGN.md §5d for the narrative
-    version of the catalogue. *)
+    The nine syntactic rules (R1-R9), the three whole-program analyses
+    (T1 taint, T2 hot-path reachability, T3 arena pairing), and the
+    [finding] record every stage of the pass exchanges.  See DESIGN.md
+    §5d for the narrative version of the catalogue. *)
 
-type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9
+type id = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8 | R9 | T1 | T2 | T3
 
 val all_ids : id list
 
 val id_to_string : id -> string
 
 val id_of_string : string -> id option
-(** Case-insensitive; [None] for anything that is not [R1]..[R9]. *)
+(** Case-insensitive; [None] for anything that is not [R1]..[R9] or
+    [T1]..[T3]. *)
 
 val title : id -> string
 (** One-line summary, used in human output and [--list-rules]. *)
@@ -29,19 +31,25 @@ type finding = {
           "_", ...); baseline entries key on it so they survive
           line-number churn *)
   message : string;
+  chain : string list;
+      (** T1/T2 witness call chain: the entry point first, the function
+          containing the finding last.  Empty for syntactic rules. *)
 }
 
 val finding :
+  ?chain:string list ->
   rule:id ->
   file:string ->
   line:int ->
   col:int ->
   context:string ->
   message:string ->
+  unit ->
   finding
 
 val pp_finding : Format.formatter -> finding -> unit
-(** [file:line:col: [Rn] message (title)] — one line, greppable. *)
+(** [file:line:col: [Rn] message (title)] — one line, greppable; T1/T2
+    findings append their [chain] witness. *)
 
 val compare_findings : finding -> finding -> int
 (** Order by file, then line, column, rule id: the report order. *)

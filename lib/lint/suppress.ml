@@ -1,17 +1,23 @@
-(* Per-site suppressions: `(* lint: allow R3 — reason *)`.
+(* Per-site suppressions — the allow-comment directive (the concrete
+   syntax, with examples of both the trailing-comment and the
+   comment-above style, is in suppress.mli; spelling it out here would
+   make this very file parse as carrying directives).
 
    An allow-comment suppresses findings of the listed rules on its own
-   line and on the line immediately below it, so both styles read
-   naturally:
+   line and on the line immediately below the comment's close, so both
+   styles read naturally.
 
-     let xs = Hashtbl.fold f tbl []  (* lint: allow R3 — sorted below *)
+   The scan is line-based (it does not track comment nesting), but a
+   directive must sit at the head of a comment — the opener, optional
+   spaces, then the marker — so prose that merely mentions the marker
+   never parses as one.
 
-     (* lint: allow R3 — merge is commutative, order cannot matter *)
-     Hashtbl.iter merge_one src
-
-   The scan is purely line-based (it does not track comment nesting):
-   the marker is unusual enough that a false positive would itself be a
-   comment talking about the linter, which is harmless. *)
+   Sloppy directives warn rather than silently misfire: a marker
+   naming an unknown or unparseable rule, several markers crowded onto
+   one line, or one comment bundling several rules (each rule deserves
+   its own reason) all produce a {!warning}.  An allow that suppresses
+   nothing also warns, but only the driver can see that — it owns the
+   usage accounting. *)
 
 type allow = {
   line : int;  (* 1-based line the marker appears on *)
@@ -19,6 +25,8 @@ type allow = {
   rules : Rules.id list;  (* rules it suppresses *)
   reason : string;  (* text after the rule list; may be empty *)
 }
+
+type warning = { w_line : int; w_message : string }
 
 let marker = "lint: allow"
 
@@ -28,6 +36,14 @@ let tokens s =
   String.split_on_char ' ' s
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun t -> t <> "")
+
+(* shaped like a rule id ("R12", "t3") without being one we know *)
+let rule_shaped tok =
+  String.length tok >= 2
+  && (match tok.[0] with 'R' | 'r' | 'T' | 't' -> true | _ -> false)
+  && String.for_all
+       (function '0' .. '9' -> true | _ -> false)
+       (String.sub tok 1 (String.length tok - 1))
 
 let parse_after_marker rest =
   let rec take_rules acc = function
@@ -50,16 +66,28 @@ let parse_after_marker rest =
         in
         String.concat " " toks
   in
-  (rules, reason)
+  (rules, rest, reason)
 
-let find_marker line =
+(* A directive is the marker at the head of a comment: the opener,
+   optional spaces, then the marker.  Requiring the opener keeps prose
+   that merely mentions the marker (doc-strings, the linter's own
+   sources, string literals) from parsing as a directive. *)
+let opens_comment line before =
+  let rec first_non_space i =
+    if i >= 0 && line.[i] = ' ' then first_non_space (i - 1) else i
+  in
+  let i = first_non_space (before - 1) in
+  i >= 1 && line.[i - 1] = '(' && line.[i] = '*'
+
+let find_marker_from line start =
   let mlen = String.length marker and llen = String.length line in
   let rec go i =
     if i + mlen > llen then None
-    else if String.sub line i mlen = marker then Some (i + mlen)
+    else if String.sub line i mlen = marker && opens_comment line i then
+      Some (i + mlen)
     else go (i + 1)
   in
-  go 0
+  go start
 
 let contains_close line =
   let rec go i =
@@ -68,18 +96,31 @@ let contains_close line =
   in
   go 0
 
-let scan source =
+let scan_full source =
   let lines = Array.of_list (String.split_on_char '\n' source) in
-  let allows = ref [] in
+  let allows = ref [] and warnings = ref [] in
+  let warn lineno msg = warnings := { w_line = lineno; w_message = msg } :: !warnings in
   Array.iteri
     (fun i line ->
-      match find_marker line with
+      match find_marker_from line 0 with
       | None -> ()
       | Some stop ->
           let lineno = i + 1 in
+          (match find_marker_from line stop with
+          | Some _ ->
+              warn lineno
+                "multiple 'lint: allow' markers on one line; only the \
+                 first is honored — list the rule in one marker or move \
+                 the second to its own line"
+          | None -> ());
           let rest = String.sub line stop (String.length line - stop) in
-          (* strip a trailing comment close if the whole directive is on
-             one line *)
+          (* stop the directive at a second marker or a comment close,
+             whichever comes first *)
+          let rest =
+            match find_marker_from rest 0 with
+            | Some j -> String.sub rest 0 (j - String.length marker)
+            | None -> rest
+          in
           let rest =
             match String.index_opt rest '*' with
             | Some j when j + 1 < String.length rest && rest.[j + 1] = ')' ->
@@ -96,12 +137,39 @@ let scan source =
           do
             incr close
           done;
-          let rules, reason = parse_after_marker rest in
-          if rules <> [] then
+          let rules, after_rules, reason = parse_after_marker rest in
+          (match after_rules with
+          | tok :: _ when rule_shaped tok ->
+              warn lineno
+                (Printf.sprintf
+                   "'lint: allow' names unknown rule %s; known rules are \
+                    R1-R9 and T1-T3"
+                   tok)
+          | _ -> ());
+          if rules = [] then begin
+            if
+              match after_rules with
+              | tok :: _ -> not (rule_shaped tok)
+              | [] -> true
+            then
+              warn lineno
+                "'lint: allow' names no recognizable rule and suppresses \
+                 nothing"
+          end
+          else begin
+            if List.length rules > 1 then
+              warn lineno
+                (Printf.sprintf
+                   "'lint: allow' bundles %d rules in one comment; split \
+                    it so each rule carries its own reason"
+                   (List.length rules));
             allows :=
-              { line = lineno; until = !close + 2; rules; reason } :: !allows)
+              { line = lineno; until = !close + 2; rules; reason } :: !allows
+          end)
     lines;
-  List.rev !allows
+  (List.rev !allows, List.rev !warnings)
+
+let scan source = fst (scan_full source)
 
 let covers allow (f : Rules.finding) =
   f.line >= allow.line && f.line <= allow.until

@@ -14,10 +14,19 @@ type allow = {
   reason : string;  (** may be empty; style asks for one *)
 }
 
+type warning = { w_line : int; w_message : string }
+(** A sloppy directive: several markers on one line, an unknown rule
+    id, one comment bundling several rules, or a marker naming no rule
+    at all.  (The "allow suppresses nothing" warning lives in
+    {!Driver}, which owns the usage accounting.) *)
+
+val scan_full : string -> allow list * warning list
+(** All allow-comments in a source file, in line order, plus the
+    directive warnings. *)
+
 val scan : string -> allow list
-(** All allow-comments in a source file, in line order.  Lines whose
-    [lint: allow] marker is followed by no recognizable rule id are
-    ignored. *)
+(** [fst (scan_full source)].  Lines whose [lint: allow] marker is
+    followed by no recognizable rule id are ignored. *)
 
 val covers : allow -> Rules.finding -> bool
 

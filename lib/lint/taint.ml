@@ -1,0 +1,122 @@
+(* Phase 2: the interprocedural fixpoints over the call graph.
+
+   All three analyses reduce to set computations on Callgraph.reach:
+
+   - T1: a direct nondeterminism-source read (wall clock, ambient
+     Random, Domain state) inside any definition reachable from a
+     deterministic-core entry point.  Reachability *is* the taint
+     fixpoint here: phase 1 recorded where sources are read, and a
+     read inside the reachable set means the laundered value can flow
+     back to the core through the very call edges that made the
+     definition reachable.  The witness chain names them.
+
+   - T2: an R7/R8/R9-shaped hazard inside a reachable definition that
+     the lexical rules did not already report (h_reported = false) —
+     the helper one module over is on the hot path all the same.
+     Allocation-shaped hazards (sprintf/append) use the *handler*
+     reachability set only: mcheck successor generation builds
+     successor-state lists by design and does not share the simulator
+     engine's allocation-free budget, while its crash/drop hazards
+     (wildcard arms, partial functions) still count — a dropped state
+     is an unsound model check.
+
+   - T3: arena-slot drops, which phase 1 proved path-locally; they are
+     reported regardless of reachability (a leak on a cold path is
+     still a leak in the free list). *)
+
+let hazard_describe (k : Summary.hazard_kind) context =
+  match k with
+  | Summary.Wildcard_arm ->
+      "wildcard arm in a protocol message match inside a \
+       step/handle-reachable helper; enumerate the constructors"
+  | Summary.Partial_fn ->
+      Printf.sprintf
+        "%s can raise in a helper reachable from a step/handle entry \
+         point; the hot path must tolerate every interleaving"
+        context
+  | Summary.Alloc_sprintf ->
+      Printf.sprintf
+        "%s allocates once per event in a helper reachable from a \
+         step/handle entry point; use the ctx scratch buffer emitters"
+        context
+  | Summary.Alloc_append ->
+      Printf.sprintf
+        "(%s) copies its left operand once per event in a helper \
+         reachable from a step/handle entry point; prefer cons plus \
+         one reversal"
+        context
+
+let analyze (g : Callgraph.t) : Rules.finding list =
+  let parent = Callgraph.reach g in
+  (* the handler-rooted subset: every entry except mcheck successor
+     generation, for the allocation-shaped T2 hazards *)
+  let handler_parent =
+    Callgraph.reach
+      {
+        g with
+        Callgraph.entries =
+          List.filter
+            (fun e ->
+              g.Callgraph.nodes.(e).Callgraph.def.Summary.d_name
+              <> "successors")
+            g.Callgraph.entries;
+      }
+  in
+  let findings = ref [] in
+  let emit ?chain ~rule ~file ~(site : Summary.site) ~message () =
+    findings :=
+      Rules.finding ?chain ~rule ~file ~line:site.Summary.s_line
+        ~col:site.Summary.s_col ~context:site.Summary.s_context ~message ()
+      :: !findings
+  in
+  Array.iter
+    (fun (n : Callgraph.node) ->
+      let d = n.Callgraph.def in
+      if Callgraph.reachable parent n.Callgraph.nid then begin
+        let chain = Callgraph.chain g parent n.Callgraph.nid in
+        List.iter
+          (fun (site : Summary.site) ->
+            emit ~chain ~rule:Rules.T1 ~file:n.Callgraph.file ~site
+              ~message:
+                (Printf.sprintf
+                   "%s is read in %s, which is reachable from the \
+                    deterministic core; the value can flow back along \
+                    the call chain and break replay"
+                   site.Summary.s_context (Summary.qualified d))
+              ())
+          d.Summary.d_taints;
+        List.iter
+          (fun (h : Summary.hazard) ->
+            let alloc_shaped =
+              match h.Summary.h_kind with
+              | Summary.Alloc_sprintf | Summary.Alloc_append -> true
+              | Summary.Wildcard_arm | Summary.Partial_fn -> false
+            in
+            let relevant, chain =
+              if alloc_shaped then
+                ( Callgraph.reachable handler_parent n.Callgraph.nid,
+                  Callgraph.chain g handler_parent n.Callgraph.nid )
+              else (true, chain)
+            in
+            if relevant && not h.Summary.h_reported then
+              emit ~chain ~rule:Rules.T2 ~file:n.Callgraph.file
+                ~site:h.Summary.h_site
+                ~message:
+                  (hazard_describe h.Summary.h_kind
+                     h.Summary.h_site.Summary.s_context)
+                ())
+          d.Summary.d_hazards
+      end;
+      List.iter
+        (fun (k : Summary.leak) ->
+          emit ~rule:Rules.T3 ~file:n.Callgraph.file ~site:k.Summary.k_drop
+            ~message:
+              (Printf.sprintf
+                 "%s at line %d acquires a slot but %s; every path must \
+                  release it or hand it off"
+                 k.Summary.k_acquire.Summary.s_context
+                 k.Summary.k_acquire.Summary.s_line k.Summary.k_detail)
+            ())
+        d.Summary.d_leaks)
+    g.Callgraph.nodes;
+  List.sort Rules.compare_findings !findings

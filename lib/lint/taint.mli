@@ -1,0 +1,12 @@
+(** Phase 2: the whole-program analyses over the call graph.
+
+    - T1: a nondeterminism-source read inside any definition reachable
+      from a deterministic-core entry point, with the witness chain.
+    - T2: an R7/R8/R9-shaped hazard inside a reachable definition that
+      the lexical rules did not already report.
+    - T3: arena-slot drops, reported regardless of reachability.
+
+    Output is sorted by {!Rules.compare_findings} and is a
+    deterministic function of the graph. *)
+
+val analyze : Callgraph.t -> Rules.finding list

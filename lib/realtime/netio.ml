@@ -39,7 +39,8 @@ type t = {
   t0 : float;
 }
 
-(* lint: allow R1 — the realtime engine owns the wall clock *)
+(* the realtime engine owns the wall clock: lib/realtime is R1-exempt
+   by scope, so no sited allow is needed here *)
 let wall () = Unix.gettimeofday ()
 
 let timer_cmp (t1, s1, _) (t2, s2, _) =

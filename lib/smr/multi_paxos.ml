@@ -107,7 +107,11 @@ let add_pending st cmd =
     || List.exists (fun c -> c.Command.id = cmd.Command.id) st.pending
     || chosen_id_known st cmd.Command.id
   then st
-  else { st with pending = st.pending @ [ cmd ] }
+  else
+    (* lint: allow T2 — pending is bounded by in-flight client commands
+       and the duplicate scan above is already linear; the tail append
+       keeps FIFO proposal order without a deque *)
+    { st with pending = st.pending @ [ cmd ] }
 
 (* Raise mbal to [b]; resets leader bookkeeping and, when the session
    advances, re-arms the session timer and gossips a 1a — the same rules

@@ -1,0 +1,15 @@
+(* Sloppy allow directives: each one below warns.  The file itself is
+   finding-free, so a run over it isolates the warnings. *)
+
+(* lint: allow R3 R5 — bundles two rules in one comment *)
+let total xs = List.fold_left ( + ) 0 xs
+
+(* lint: allow R42 — names an unknown rule *)
+let stamp x = x
+
+(* lint: allow R2 — suppresses nothing *)
+let pure x = x + 1
+
+let a = 1 (* lint: allow R1 — first *) (* lint: allow R1 — second marker, same line *)
+
+let b = a + 1

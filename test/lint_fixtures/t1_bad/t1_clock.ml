@@ -1,0 +1,6 @@
+(* T1: the wall-clock read is locally allowed (silencing R1), but the
+   value is laundered through T1_helper into a handler — the sited
+   allow must not stop the whole-program taint analysis. *)
+
+(* lint: allow R1 — fixture: sited allow silences R1 at the read *)
+let sample () = Unix.gettimeofday ()

@@ -1,0 +1,4 @@
+(* The laundering hop: nothing here reads a clock, it only forwards
+   the tainted value across a module boundary. *)
+
+let jitter () = T1_clock.sample () *. 0.5

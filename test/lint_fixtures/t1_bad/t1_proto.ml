@@ -1,0 +1,4 @@
+(* The deterministic-core entry point: handle_msg transitively reaches
+   the wall-clock read two modules over. *)
+
+let handle_msg st _msg = st +. T1_helper.jitter ()

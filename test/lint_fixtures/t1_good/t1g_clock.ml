@@ -1,0 +1,4 @@
+(* T1 clean: the same call shape as t1_bad, but time is threaded in as
+   a parameter — no nondeterminism source anywhere in the chain. *)
+
+let sample now = now

@@ -1,0 +1,1 @@
+let jitter now = T1g_clock.sample now *. 0.5

@@ -1,0 +1,1 @@
+let handle_msg st now = st +. T1g_helper.jitter now

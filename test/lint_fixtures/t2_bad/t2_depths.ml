@@ -1,0 +1,12 @@
+(* T2: hazards in a helper that is *not* lexically inside a handler —
+   the syntactic R7/R8/R9 stay quiet, but T2_steps.step reaches every
+   one of these transitively. *)
+
+let classify m =
+  match m with
+  | T2_messages.Ping _ -> "ping"
+  | _ -> "other"
+
+let first xs = List.hd xs
+
+let describe n = Printf.sprintf "n=%d" n

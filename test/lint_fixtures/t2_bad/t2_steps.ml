@@ -1,0 +1,7 @@
+(* The entry point: step itself is hazard-free, the trouble is one
+   module over. *)
+
+let step st m =
+  let tag = T2_depths.classify m in
+  let hd = T2_depths.first st in
+  (tag, hd, T2_depths.describe hd)

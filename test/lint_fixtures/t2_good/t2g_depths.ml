@@ -1,0 +1,7 @@
+(* T2 clean: the same helper shape, but every constructor is
+   enumerated and every function is total. *)
+
+let classify m =
+  match m with T2g_messages.Ping x -> x | T2g_messages.Pong x -> x
+
+let first xs = match xs with [] -> 0 | x :: _ -> x

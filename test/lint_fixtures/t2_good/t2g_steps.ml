@@ -1,0 +1,1 @@
+let step st m = T2g_depths.first st + T2g_depths.classify m

@@ -1,0 +1,10 @@
+(* T3: the early-return arm drops the acquired slot — the sibling arm
+   releases it, so the empty-queue path leaks it from the free list. *)
+
+let route pool q msg =
+  let slot = T3_pool.arena_alloc pool in
+  match q with
+  | [] -> 0
+  | x :: _ ->
+      T3_pool.arena_release pool slot;
+      x + msg

@@ -1,0 +1,10 @@
+type t = { mutable free : int list }
+
+let arena_alloc p =
+  match p.free with
+  | [] -> -1
+  | s :: rest ->
+      p.free <- rest;
+      s
+
+let arena_release p s = p.free <- s :: p.free

@@ -1,0 +1,11 @@
+(* T3 clean: every arm either releases the slot or hands it off. *)
+
+let route pool q msg =
+  let slot = T3g_pool.arena_alloc pool in
+  match q with
+  | [] ->
+      T3g_pool.arena_release pool slot;
+      0
+  | x :: _ ->
+      T3g_pool.arena_release pool slot;
+      x + msg
