@@ -506,6 +506,62 @@ let serve_stats ?metrics ~commands ~pipeline () =
 let serve_metric_names =
   [ "serve_commands_per_s"; "serve_latency_p50_ms"; "serve_latency_p99_ms" ]
 
+(* --- chaos campaign throughput ---------------------------------------- *)
+
+(* A seeded fault campaign through the in-process chaos proxy (see
+   DESIGN.md §5i): chaos_commands_per_s is client throughput *through
+   the adversary*, chaos_faults_injected the volume of interference the
+   run absorbed.  Both are meaningless if the robustness contract
+   breaks, so a failed campaign fails the bench. *)
+let chaos_stats ?metrics ~commands ~pipeline () =
+  let schedule =
+    Chaos.Schedule.generate ~seed:7L ~n:3 ~ts:0.4 ~delta:serve_delta
+      ~horizon:1.6 ()
+  in
+  let outcome =
+    Chaos.Campaign.run
+      {
+        (Chaos.Campaign.default_config schedule) with
+        Chaos.Campaign.commands;
+        pipeline;
+      }
+  in
+  if not (Chaos.Campaign.ok outcome) then begin
+    Format.printf "%a" Chaos.Campaign.pp_outcome outcome;
+    failwith "chaos campaign violated its robustness contract during bench"
+  end;
+  let reg = outcome.Chaos.Campaign.registry in
+  let faults =
+    List.fold_left
+      (fun acc n -> acc + Sim.Registry.counter_total reg n)
+      0
+      [
+        "chaos_dropped";
+        "chaos_delayed";
+        "chaos_duplicated";
+        "chaos_reordered";
+        "chaos_corrupted";
+        "chaos_truncated";
+        "chaos_resets";
+      ]
+  in
+  let throughput =
+    match outcome.Chaos.Campaign.report with
+    | Some r -> r.Smr.Client.throughput
+    | None -> 0.
+  in
+  (match metrics with
+  | Some dst -> Sim.Registry.merge_into ~dst reg
+  | None -> ());
+  Printf.printf
+    "chaos: %d commands at %.0f cmd/s through the fault proxy (%d faults \
+     injected)\n\n\
+     %!"
+    commands throughput faults;
+  (throughput, faults)
+
+let chaos_metric_names = [ "chaos_commands_per_s"; "chaos_faults_injected" ]
+
 (* --- smoke mode ------------------------------------------------------- *)
 
 (* [--smoke]: the cheap micro-benches plus the engine/allocation
@@ -518,10 +574,11 @@ let smoke () =
   let micro = run_micro cheap_cases in
   ignore (engine_stats () : float * float * float);
   ignore (serve_stats ~commands:5_000 ~pipeline:128 () : float * float * float);
+  ignore (chaos_stats ~commands:2_000 ~pipeline:64 () : float * int);
   let produced =
     List.sort_uniq String.compare
       (List.map (fun (name, _, _) -> name) micro
-      @ engine_metric_names @ serve_metric_names)
+      @ engine_metric_names @ serve_metric_names @ chaos_metric_names)
   in
   let schema_path =
     match Lint.Driver.find_root () with
@@ -585,7 +642,7 @@ let json_float f =
 let json_opt_float = function Some f -> json_float f | None -> "null"
 
 let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
-    ~mcheck ~fuzz ~engine ~serve ~invariants_ok ~lint =
+    ~mcheck ~fuzz ~engine ~serve ~chaos ~invariants_ok ~lint =
   let mc_states, mc_wall, mc_states_per_s, mc_visited_mb, mc_speedup =
     mcheck
   in
@@ -620,6 +677,9 @@ let write_results ~path ~speed ~domains ~wall ~serial_wall ~micro ~metrics
   p "  \"serve_commands_per_s\": %s,\n" (json_float serve_tp);
   p "  \"serve_latency_p50_ms\": %s,\n" (json_float serve_p50_ms);
   p "  \"serve_latency_p99_ms\": %s,\n" (json_float serve_p99_ms);
+  (let chaos_tp, chaos_faults = chaos in
+   p "  \"chaos_commands_per_s\": %s,\n" (json_float chaos_tp);
+   p "  \"chaos_faults_injected\": %d,\n" chaos_faults);
   p "  \"trace_invariants_ok\": %b,\n" invariants_ok;
   (match lint with
   | Some (lint_ok, findings, rules_run, callgraph_nodes) ->
@@ -819,7 +879,15 @@ let () =
     in
     serve_stats ~metrics ~commands ~pipeline:1024 ()
   in
+  (* Same socket stack again, this time through the chaos proxy under
+     the canonical seeded fault campaign. *)
+  let chaos =
+    let commands =
+      match speed with Harness.Experiments.Full -> 50_000 | Quick -> 10_000
+    in
+    chaos_stats ~metrics ~commands ~pipeline:128 ()
+  in
   let path = "BENCH_RESULTS.json" in
   write_results ~path ~speed:speed_name ~domains ~wall ~serial_wall ~micro
-    ~metrics ~mcheck ~fuzz ~engine ~serve ~invariants_ok ~lint;
+    ~metrics ~mcheck ~fuzz ~engine ~serve ~chaos ~invariants_ok ~lint;
   Format.printf "(wrote %s)@." path

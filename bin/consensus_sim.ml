@@ -1162,7 +1162,22 @@ let cluster_arg =
           "Comma-separated replica endpoints, one per replica, in id \
            order (identical on every replica and client).")
 
-let serve_impl id cluster delta batch window snapshot seed verbose =
+let endpoint_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg "expected HOST:PORT")
+    | Some i -> (
+        let host = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+        with
+        | Some port when host <> "" && port >= 0 && port <= 65535 ->
+            Ok (host, port)
+        | Some _ | None -> Error (`Msg "expected HOST:PORT"))
+  in
+  let print fmt (h, p) = Format.fprintf fmt "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let serve_impl id cluster bind delta batch window snapshot seed verbose =
   if id < 0 || id >= Array.length cluster then begin
     Printf.eprintf "serve: --id %d out of range for a %d-replica cluster\n"
       id (Array.length cluster);
@@ -1172,6 +1187,7 @@ let serve_impl id cluster delta batch window snapshot seed verbose =
     {
       Smr.Replica.id;
       cluster;
+      bind;
       delta;
       batch;
       window;
@@ -1183,8 +1199,11 @@ let serve_impl id cluster delta batch window snapshot seed verbose =
   in
   match Smr.Replica.create cfg with
   | exception Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "serve: cannot bind %s:%d: %s\n"
-        (fst cluster.(id)) (snd cluster.(id)) (Unix.error_message e);
+      let host, port =
+        match bind with Some hp -> hp | None -> cluster.(id)
+      in
+      Printf.eprintf "serve: cannot bind %s:%d: %s\n" host port
+        (Unix.error_message e);
       exit 3
   | exception Invalid_argument msg ->
       Printf.eprintf "serve: %s\n" msg;
@@ -1193,14 +1212,23 @@ let serve_impl id cluster delta batch window snapshot seed verbose =
       let quit _ = Smr.Replica.stop r in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle quit);
       Sys.set_signal Sys.sigint (Sys.Signal_handle quit);
+      let host =
+        match bind with Some (h, _) -> h | None -> fst cluster.(id)
+      in
       Printf.printf "replica %d serving on %s:%d (batch %d, window %d)\n%!"
-        id (fst cluster.(id)) (Smr.Replica.port r) batch window;
+        id host (Smr.Replica.port r) batch window;
       Smr.Replica.run r;
       let reg = Smr.Replica.registry r in
-      Printf.printf "replica %d stopped: %d requests, %d decrees applied\n%!"
+      (* kv_checksum=/kv_applied= are parsed by the chaos campaign's
+         agreement check — keep them machine-readable *)
+      Printf.printf
+        "replica %d stopped: %d requests, %d decrees applied, \
+         kv_applied=%d kv_checksum=%d\n%!"
         id
         (Sim.Registry.counter_total reg "serve_requests")
         (Sim.Registry.counter_total reg "serve_decrees")
+        (Smr.Replica.kv_applied r)
+        (Smr.Replica.kv_checksum r)
 
 let serve_cmd =
   let id_arg =
@@ -1239,6 +1267,16 @@ let serve_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Progress chatter on stderr.")
   in
+  let bind_arg =
+    Arg.(
+      value
+      & opt (some endpoint_conv) None
+      & info [ "bind" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Listen here instead of the --cluster entry for --id: used \
+             when a chaos proxy owns the advertised address and forwards \
+             to this backend.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1249,8 +1287,8 @@ let serve_cmd =
                                 configuration is malformed."
          :: Cmd.Exit.defaults))
     Term.(
-      const serve_impl $ id_arg $ cluster_arg $ delta_arg $ batch_arg
-      $ window_arg $ snapshot_arg $ seed_arg $ verbose_arg)
+      const serve_impl $ id_arg $ cluster_arg $ bind_arg $ delta_arg
+      $ batch_arg $ window_arg $ snapshot_arg $ seed_arg $ verbose_arg)
 
 let pp_reply fmt = function
   | Smr.Wire.R_stored -> Format.pp_print_string fmt "stored"
@@ -1273,9 +1311,6 @@ let parse_trace_line line =
 let check_recovery_impl path after delta n =
   let cfg = Dgl.Config.make ~n ~delta () in
   let bound = Dgl.Config.decision_bound cfg in
-  (* CI-safe slack: real schedulers and the snapshot cadence sit on top
-     of the model's message delays *)
-  let slack = Float.max 1.0 bound in
   let samples = ref [] in
   let ic = open_in path in
   (try
@@ -1290,42 +1325,13 @@ let check_recovery_impl path after delta n =
     Printf.eprintf "check-recovery: %s holds no samples\n" path;
     exit 1
   end;
-  let settled = after +. bound +. slack in
-  let post = List.filter (fun (t, _) -> t > settled) samples in
-  let worst_post =
-    List.fold_left (fun acc (_, l) -> Float.max acc l) 0. post
-  in
-  (* longest commit stall from just before the kill to the end *)
-  let stall, _ =
-    List.fold_left
-      (fun (stall, prev) (t, _) ->
-        if t < after -. 1. then (stall, t)
-        else (Float.max stall (t -. prev), t))
-      (0., after) samples
-  in
+  let v = Smr.Recovery.check ~bound ~after samples in
   Printf.printf
     "check-recovery: kill at %.3f, decision bound %.3fs (+%.3fs slack)\n"
-    after bound slack;
-  Printf.printf
-    "  %d samples, %d after settle point; worst post-settle latency %.3fs; \
-     longest stall %.3fs\n"
-    (List.length samples) (List.length post) worst_post stall;
-  let ok = ref true in
-  if post = [] then begin
-    Printf.printf "  FAIL: no commits after the settle point\n";
-    ok := false
-  end;
-  if worst_post > bound +. slack then begin
-    Printf.printf "  FAIL: post-settle latency %.3fs exceeds %.3fs\n"
-      worst_post (bound +. slack);
-    ok := false
-  end;
-  if stall > bound +. slack then begin
-    Printf.printf "  FAIL: commit stall %.3fs exceeds %.3fs\n" stall
-      (bound +. slack);
-    ok := false
-  end;
-  if !ok then Printf.printf "  recovery bound respected\n" else exit 1
+    after v.Smr.Recovery.bound v.Smr.Recovery.slack;
+  Format.printf "  @[<v>%a@]@." Smr.Recovery.pp v;
+  if Smr.Recovery.ok v then Printf.printf "  recovery bound respected\n"
+  else exit 1
 
 let client_impl cluster member op_args load commands pipeline value_bytes
     keyspace seed latency_trace check_recovery after delta verbose =
@@ -1349,6 +1355,7 @@ let client_impl cluster member op_args load commands pipeline value_bytes
               value_bytes;
               keyspace;
               seed = Int64.to_int seed;
+              mix = Smr.Client.Mixed;
               latency_trace;
             }
         in
@@ -1361,10 +1368,10 @@ let client_impl cluster member op_args load commands pipeline value_bytes
         let pct q = Smr.Client.percentile report.Smr.Client.latencies q in
         Printf.printf
           "load: %d commands in %.3fs = %.0f cmd/s (%d resubmitted, %d \
-           reconnects)\n"
+           reconnects, %.3fs backoff)\n"
           report.Smr.Client.completed report.Smr.Client.elapsed
           report.Smr.Client.throughput report.Smr.Client.resubmitted
-          report.Smr.Client.reconnects;
+          report.Smr.Client.reconnects report.Smr.Client.backoff;
         Printf.printf
           "latency: p50 %.1f ms, p90 %.1f ms, p99 %.1f ms, max %.1f ms\n"
           (1000. *. pct 0.5) (1000. *. pct 0.9) (1000. *. pct 0.99)
@@ -1595,27 +1602,297 @@ let fuzz_cmd =
       const fuzz_impl $ budget_arg $ seed_arg $ domains_arg $ protocol_arg
       $ corpus_arg)
 
+(* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* A chaos corpus file is the schedule document plus the load shape
+   that exposed the failure, so `replay` re-runs the exact campaign. *)
+let chaos_entry_to_json schedule ~commands ~pipeline =
+  match Chaos.Schedule.to_json schedule with
+  | Sim.Json.Obj fields ->
+      Sim.Json.Obj
+        (fields
+        @ [
+            ("commands", Sim.Json.int commands);
+            ("pipeline", Sim.Json.int pipeline);
+          ])
+  | j -> j
+
+let chaos_entry_of_json j =
+  match Chaos.Schedule.of_json j with
+  | Error _ as e -> e
+  | Ok schedule ->
+      let geti name default =
+        match Sim.Json.member_opt name j with
+        | Some v -> (
+            match Sim.Json.to_int v with Ok i -> i | Error _ -> default)
+        | None -> default
+      in
+      Ok (schedule, geti "commands" 50_000, geti "pipeline" 128)
+
+let serve_argv ~delta ~id ~cluster ~bind ~snapshot =
+  [|
+    Sys.executable_name;
+    "serve";
+    "--id";
+    string_of_int id;
+    "--cluster";
+    cluster;
+    "--bind";
+    bind;
+    "--snapshot";
+    snapshot;
+    "--delta";
+    Printf.sprintf "%g" delta;
+    "--batch";
+    "256";
+    "--window";
+    "64";
+  |]
+
+let with_scratch_dir f =
+  let dir =
+    Filename.temp_file "chaos-campaign" ""
+  in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      match Sys.readdir dir with
+      | names ->
+          Array.iter (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ()) names;
+          (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      | exception Sys_error _ -> ())
+    (fun () -> f dir)
+
+let run_campaign schedule ~commands ~pipeline ~in_process ~save_failing
+    ~verbose =
+  Format.printf "chaos: %a@." Chaos.Schedule.pp schedule;
+  let run mode =
+    Chaos.Campaign.run
+      {
+        (Chaos.Campaign.default_config schedule) with
+        Chaos.Campaign.commands;
+        pipeline;
+        mode;
+        verbose;
+      }
+  in
+  let outcome =
+    if in_process then run Chaos.Campaign.In_process
+    else
+      with_scratch_dir (fun dir ->
+          run
+            (Chaos.Campaign.Subprocess
+               {
+                 argv = serve_argv ~delta:schedule.Chaos.Schedule.delta;
+                 dir;
+               }))
+  in
+  Format.printf "%a" Chaos.Campaign.pp_outcome outcome;
+  (match outcome.Chaos.Campaign.report with
+  | Some r ->
+      Format.printf "load: %d commands in %.3fs = %.0f cmd/s@."
+        r.Smr.Client.completed r.Smr.Client.elapsed r.Smr.Client.throughput
+  | None -> ());
+  Format.printf "%s@."
+    (Sim.Registry.to_json outcome.Chaos.Campaign.registry);
+  if Chaos.Campaign.ok outcome then ()
+  else begin
+    (match save_failing with
+    | None -> ()
+    | Some dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error ((Unix.EEXIST | Unix.EPERM), _, _) -> ());
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "%s.json" schedule.Chaos.Schedule.name)
+        in
+        let oc = open_out path in
+        output_string oc
+          (Sim.Json.print_pretty
+             (chaos_entry_to_json schedule ~commands ~pipeline));
+        output_char oc '\n';
+        close_out oc;
+        Format.printf "failing schedule saved to %s (replay with: \
+                       consensus_sim replay %s)@."
+          path path);
+    exit 1
+  end
+
+let chaos_impl seed n ts delta horizon commands pipeline schedule_file
+    print_schedule in_process save_failing verbose =
+  let schedule =
+    match schedule_file with
+    | Some path -> (
+        match Sim.Json.parse (read_whole_file path) with
+        | Error msg ->
+            Printf.eprintf "chaos: %s: %s\n" path msg;
+            exit 3
+        | Ok j -> (
+            match Chaos.Schedule.of_json j with
+            | Error msg ->
+                Printf.eprintf "chaos: %s: %s\n" path msg;
+                exit 3
+            | Ok s -> s))
+    | None -> (
+        let horizon = if horizon > 0. then horizon else ts +. 2.0 in
+        match Chaos.Schedule.generate ~seed ~n ~ts ~delta ~horizon () with
+        | s -> s
+        | exception Invalid_argument msg ->
+            Printf.eprintf "chaos: %s\n" msg;
+            exit 3)
+  in
+  if print_schedule then
+    print_endline (Sim.Json.print_pretty (Chaos.Schedule.to_json schedule))
+  else
+    run_campaign schedule ~commands ~pipeline ~in_process ~save_failing
+      ~verbose
+
+let chaos_cmd =
+  let n_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "n" ] ~docv:"N" ~doc:"Cluster size (3-5 is the usual range).")
+  in
+  let ts_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "ts" ] ~docv:"SECONDS"
+          ~doc:
+            "Stabilization point of the generated schedule: disruptive \
+             faults end by then.")
+  in
+  let delta_arg =
+    Arg.(
+      value & opt float 0.02
+      & info [ "delta" ] ~docv:"SECONDS"
+          ~doc:"Post-stabilization delivery bound (added latency cap).")
+  in
+  let horizon_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "horizon" ] ~docv:"SECONDS"
+          ~doc:
+            "End of scheduled interference (default ts + 2): delta-bounded \
+             latency is injected until then.")
+  in
+  let commands_arg =
+    Arg.(
+      value & opt int 120_000
+      & info [ "commands" ] ~docv:"N"
+          ~doc:
+            "Load size; must keep the client running past the settle point \
+             so the recovery bound has post-settle samples.")
+  in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "pipeline" ] ~docv:"N" ~doc:"Client pipelining depth.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:
+            "Run this schedule file instead of generating one from --seed.")
+  in
+  let print_arg =
+    Arg.(
+      value & flag
+      & info [ "print-schedule" ]
+          ~doc:
+            "Print the (generated or loaded) schedule as JSON and exit — \
+             the same seed prints byte-identical output.")
+  in
+  let in_process_arg =
+    Arg.(
+      value & flag
+      & info [ "in-process" ]
+          ~doc:
+            "Run replicas on threads in this process instead of spawning \
+             real serve processes (cheaper; direct state probes).")
+  in
+  let save_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "chaos-failures")
+      & info [ "save-failing" ] ~docv:"DIR"
+          ~doc:
+            "Persist the schedule of a failing campaign here for replay \
+             (default chaos-failures).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Progress chatter on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a live localhost cluster behind the deterministic chaos \
+          proxy and assert the robustness contract: lossless completion, \
+          exactly-once effects, replica agreement, and the paper's \
+          recovery bound after the schedule's stabilization point."
+       ~exits:
+         (Cmd.Exit.info 1 ~doc:"when the robustness contract is violated."
+         :: Cmd.Exit.info 3
+              ~doc:"when the environment prevents the campaign from running."
+         :: Cmd.Exit.defaults))
+    Term.(
+      const chaos_impl $ seed_arg $ n_arg $ ts_arg $ delta_arg $ horizon_arg
+      $ commands_arg $ pipeline_arg $ schedule_arg $ print_arg
+      $ in_process_arg $ save_arg $ verbose_arg)
+
+let replay_chaos path j =
+  match chaos_entry_of_json j with
+  | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+  | Ok (schedule, commands, pipeline) ->
+      Format.printf "%s: replaying chaos campaign@." path;
+      run_campaign schedule ~commands ~pipeline ~in_process:true
+        ~save_failing:None ~verbose:false
+
 let replay_impl paths =
   if paths = [] then
     failwith "replay: give at least one corpus file (test/corpus/*.json)";
+  let is_chaos path =
+    match Sim.Json.parse (read_whole_file path) with
+    | Error _ -> None
+    | Ok j -> (
+        match Sim.Json.member_opt "format" j with
+        | Some (Sim.Json.Str f) when f = Chaos.Schedule.format_tag -> Some j
+        | Some _ | None -> None)
+  in
   let ok =
     List.fold_left
       (fun ok path ->
-        match Harness.Fuzz.load_entry path with
-        | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
-        | Ok entry -> (
-            match Harness.Fuzz.replay entry with
-            | Ok o ->
-                Format.printf
-                  "%s: reproduced %s (%a; %d events, %d decided)@." path
-                  entry.Harness.Fuzz.check Harness.Fuzz_scenario.pp
-                  entry.Harness.Fuzz.scenario o.Harness.Fuzz.events
-                  o.Harness.Fuzz.decided;
-                ok
-            | Error (saw, _) ->
-                Format.printf "%s: NOT reproduced — expected %s, saw %s@."
-                  path entry.Harness.Fuzz.check saw;
-                false))
+        match is_chaos path with
+        | Some j ->
+            replay_chaos path j;
+            ok
+        | None -> (
+            match Harness.Fuzz.load_entry path with
+            | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
+            | Ok entry -> (
+                match Harness.Fuzz.replay entry with
+                | Ok o ->
+                    Format.printf
+                      "%s: reproduced %s (%a; %d events, %d decided)@." path
+                      entry.Harness.Fuzz.check Harness.Fuzz_scenario.pp
+                      entry.Harness.Fuzz.scenario o.Harness.Fuzz.events
+                      o.Harness.Fuzz.decided;
+                    ok
+                | Error (saw, _) ->
+                    Format.printf "%s: NOT reproduced — expected %s, saw %s@."
+                      path entry.Harness.Fuzz.check saw;
+                    false)))
       true paths
   in
   if not ok then exit 1
@@ -1672,6 +1949,7 @@ let main =
       realtime_cmd;
       serve_cmd;
       client_cmd;
+      chaos_cmd;
       list_cmd;
     ]
 

@@ -11,6 +11,11 @@ type conn = {
   mutable inbuf : Bytes.t;
   mutable in_off : int;  (* first unconsumed byte *)
   mutable in_len : int;  (* end of valid data *)
+  mutable stale_since : float;
+      (* loop time at which the unconsumed input region became non-empty;
+         -1 while it is empty.  Drip-feeding bytes without ever completing
+         a frame does NOT reset it — only consuming everything does — so
+         it bounds how long a partial frame may sit in the buffer. *)
   outq : Bytes.t Queue.t;
   mutable out_off : int;  (* offset into the head of [outq] *)
   mutable on_data : conn -> unit;
@@ -37,6 +42,12 @@ type t = {
   mutable stopped : bool;
   mutable next_cid : int;
   t0 : float;
+  mutable partial_timeout : float option;
+      (* close a connection whose unconsumed input has sat for longer
+         than this (a stalled peer holding a partial frame) *)
+  mutable max_input : int option;
+      (* close a connection whose unconsumed input grows past this *)
+  mutable registry : Sim.Registry.t option;  (* netio_* drop counters *)
 }
 
 (* the realtime engine owns the wall clock: lib/realtime is R1-exempt
@@ -65,9 +76,27 @@ let create () =
     stopped = false;
     next_cid = 0;
     t0 = wall ();
+    partial_timeout = None;
+    max_input = None;
+    registry = None;
   }
 
 let now t = wall () -. t.t0
+
+let set_limits t ?partial_timeout ?max_input () =
+  (match partial_timeout with
+  | Some d when d <= 0. -> invalid_arg "Netio.set_limits: timeout <= 0"
+  | Some _ | None -> ());
+  (match max_input with
+  | Some b when b < 1 -> invalid_arg "Netio.set_limits: max_input < 1"
+  | Some _ | None -> ());
+  t.partial_timeout <- partial_timeout;
+  t.max_input <- max_input
+
+let set_registry t reg = t.registry <- Some reg
+
+let count t name =
+  match t.registry with Some reg -> Sim.Registry.inc reg name | None -> ()
 
 let conn_id c = c.cid
 
@@ -80,9 +109,11 @@ let rec every t period fn =
       fn ();
       every t period fn)
 
-let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with
-  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE), _, _) ->
-      ()
+(* Best-effort: a stop racing the loop's own teardown may find the wake
+   pipe already closed (EBADF) — the loop is gone either way. *)
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
 
 let stop t =
   t.stopped <- true;
@@ -105,6 +136,7 @@ let make_conn t fd ~connected =
       inbuf = Bytes.create 4096;
       in_off = 0;
       in_len = 0;
+      stale_since = -1.;
       outq = Queue.create ();
       out_off = 0;
       on_data = noop_data;
@@ -211,7 +243,8 @@ let consume c n =
   c.in_off <- c.in_off + n;
   if c.in_off >= c.in_len then begin
     c.in_off <- 0;
-    c.in_len <- 0
+    c.in_len <- 0;
+    c.stale_since <- -1.
   end
   else if c.in_off > 65536 then begin
     (* keep the live region anchored near the front so the buffer does
@@ -232,7 +265,22 @@ let read_ready t c =
   | 0 -> close t c
   | n ->
       c.in_len <- c.in_len + n;
-      c.on_data c
+      c.on_data c;
+      if not c.closing then begin
+        let unconsumed = c.in_len - c.in_off in
+        if unconsumed = 0 then c.stale_since <- -1.
+        else begin
+          if c.stale_since < 0. then c.stale_since <- now t;
+          match t.max_input with
+          | Some cap when unconsumed > cap ->
+              (* the peer outran the decoder's appetite (or is feeding us
+                 a frame the application refuses to consume): drop it
+                 rather than buffering without bound *)
+              count t "netio_input_overflows";
+              close t c
+          | Some _ | None -> ()
+        end
+      end
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error _ -> close t c
 
@@ -314,6 +362,7 @@ let step t timeout =
                   (* persistent failure (e.g. fd exhaustion): the fd
                      stays readable, so back off instead of busy-spinning
                      through select *)
+                  count t "netio_accept_backoffs";
                   l.pause_until <- now t +. 0.05;
                   accepting := false
             done)
@@ -326,6 +375,21 @@ let step t timeout =
       List.iter
         (fun c -> if (not c.closing) && List.memq c.fd readable then read_ready t c)
         snapshot;
+      (match t.partial_timeout with
+      | None -> ()
+      | Some limit ->
+          let deadline = now t -. limit in
+          List.iter
+            (fun c ->
+              if
+                (not c.closing)
+                && c.stale_since >= 0.
+                && c.stale_since < deadline
+              then begin
+                count t "netio_partial_timeouts";
+                close t c
+              end)
+            t.conns);
       run_due_timers t
 
 let run t =
@@ -341,3 +405,24 @@ let shutdown t =
   t.listeners <- [];
   (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
   try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+
+module Private = struct
+  (* Replace every listener fd with the read end of a pipe holding one
+     unread byte: select reports it readable, accept fails with
+     ENOTSOCK — a persistent error, which is exactly the shape of fd
+     exhaustion — so the next [step] must take the backoff branch.
+     dup2 keeps the fd *number* alive, so the loop's bookkeeping is
+     untouched; only the kernel object behind it changes. *)
+  let sabotage_listeners t =
+    List.iter
+      (fun l ->
+        let r, w = Unix.pipe () in
+        ignore (Unix.write w (Bytes.make 1 'x') 0 1);
+        Unix.dup2 r l.lfd;
+        Unix.close r;
+        Unix.close w)
+      t.listeners
+
+  let paused_listeners t =
+    List.length (List.filter (fun l -> l.pause_until > now t) t.listeners)
+end

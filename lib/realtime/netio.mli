@@ -30,6 +30,25 @@ val resolve : string -> Unix.inet_addr
 val now : t -> float
 (** Seconds since [create] — the loop's time base; timers use it. *)
 
+val set_limits : t -> ?partial_timeout:float -> ?max_input:int -> unit -> unit
+(** Connection hardening.  [partial_timeout] closes a connection whose
+    unconsumed input has sat in the buffer for longer than that many
+    seconds — a peer that sends 11 of 12 header bytes and stalls (or
+    drip-feeds without ever completing a frame: arrival of more bytes
+    does {e not} reset the clock, only consuming everything does).
+    [max_input] closes a connection whose unconsumed input grows past
+    that many bytes.  Omitted arguments disable the corresponding
+    check; both default to off.  Drops are counted as
+    [netio_partial_timeouts] / [netio_input_overflows] when a registry
+    is attached via {!set_registry}.  Raises [Invalid_argument] on a
+    non-positive timeout or bound. *)
+
+val set_registry : t -> Sim.Registry.t -> unit
+(** Attach a metrics registry; the loop increments [netio_*] counters
+    ([netio_partial_timeouts], [netio_input_overflows],
+    [netio_accept_backoffs]) as it drops connections or backs off a
+    listener. *)
+
 val listen :
   t -> host:string -> port:int -> on_accept:(conn -> unit) -> int
 (** Bind and listen; returns the actual port (useful with [port:0]).
@@ -93,3 +112,17 @@ val stop : t -> unit
 
 val shutdown : t -> unit
 (** Close every connection, listener, and the wakeup pipe. *)
+
+(**/**)
+
+module Private : sig
+  (** Test hooks — not part of the public surface. *)
+
+  val sabotage_listeners : t -> unit
+  (** Make every listener's accept fail persistently (ENOTSOCK) while
+      its fd stays readable, reproducing the fd-exhaustion shape that
+      triggers accept backoff. *)
+
+  val paused_listeners : t -> int
+  (** Number of listeners currently inside their backoff window. *)
+end

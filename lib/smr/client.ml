@@ -17,6 +17,8 @@ type t = {
   mutable in_len : int;
   mutable next_seq : int;
   mutable reconnects : int;
+  mutable backoff_total : float;  (* seconds slept inside [reconnect] *)
+  rng : Sim.Prng.t;  (* jitter source — seeded, so retry timing replays *)
   verbose : bool;
 }
 
@@ -65,7 +67,19 @@ let try_connect_member t i =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       false
 
-(* Round-robin from [start] until some member accepts. *)
+(* Capped exponential backoff with jitter: base doubles per completed
+   round over the whole cluster, the jitter factor is uniform in
+   [0.75, 1.25) so a fleet of clients that died together does not
+   reconnect in lockstep.  Pure so tests can pin the curve. *)
+let backoff_delay ?(base = 0.05) ?(cap = 1.0) ~round jitter =
+  if round < 0 then invalid_arg "Client.backoff_delay: negative round";
+  if jitter < 0. || jitter >= 1. then
+    invalid_arg "Client.backoff_delay: jitter outside [0,1)";
+  let exp = Float.min cap (base *. Float.pow 2. (float_of_int round)) in
+  exp *. (0.75 +. (0.5 *. jitter))
+
+(* Round-robin from [start] until some member accepts, backing off
+   between full rounds. *)
 let reconnect ?(attempts = 40) t =
   disconnect t;
   t.reconnects <- t.reconnects + 1;
@@ -77,12 +91,16 @@ let reconnect ?(attempts = 40) t =
     if try_connect_member t i then ok := true
     else begin
       incr tries;
-      if !tries mod n = 0 then Unix.sleepf 0.05
+      if !tries mod n = 0 then begin
+        let d = backoff_delay ~round:((!tries / n) - 1) (Sim.Prng.float t.rng 1.) in
+        t.backoff_total <- t.backoff_total +. d;
+        Unix.sleepf d
+      end
     end
   done;
   if not !ok then raise (Disconnected "no cluster member reachable")
 
-let connect ?(verbose = false) ?(prefer = 0) cluster =
+let connect ?(verbose = false) ?(prefer = 0) ?(backoff_seed = 1) cluster =
   if Array.length cluster = 0 then invalid_arg "Client.connect: empty cluster";
   let n = Array.length cluster in
   let t =
@@ -97,6 +115,8 @@ let connect ?(verbose = false) ?(prefer = 0) cluster =
       in_len = 0;
       next_seq = 0;
       reconnects = -1;  (* first connect is not a reconnect *)
+      backoff_total = 0.;
+      rng = Sim.Prng.create (Int64.of_int backoff_seed);
       verbose;
     }
   in
@@ -106,6 +126,8 @@ let connect ?(verbose = false) ?(prefer = 0) cluster =
 let close t = disconnect t
 
 let reconnect_count t = Stdlib.max 0 t.reconnects
+
+let backoff_total t = t.backoff_total
 
 let member t = t.member
 
@@ -192,12 +214,19 @@ let cas t ~key ~expect ~set = request t (Command.Kv_cas { key; expect; set })
 (* Closed-loop load generator                                          *)
 (* ------------------------------------------------------------------ *)
 
+type mix =
+  | Mixed  (* 70% put / 20% get / 10% cas over a shared keyspace *)
+  | Unique_puts
+      (* command i puts key "u<i>": idempotent, so at-least-once delivery
+         yields exactly-once *effects* — what a chaos campaign asserts *)
+
 type load = {
   commands : int;
   pipeline : int;  (* outstanding requests kept in flight *)
   value_bytes : int;
   keyspace : int;
   seed : int;
+  mix : mix;
   latency_trace : string option;  (* JSONL: {"t":epoch_s,"lat":seconds} *)
 }
 
@@ -208,6 +237,7 @@ let default_load =
     value_bytes = 16;
     keyspace = 1024;
     seed = 1;
+    mix = Mixed;
     latency_trace = None;
   }
 
@@ -216,9 +246,13 @@ type report = {
   completed : int;
   resubmitted : int;
   reconnects : int;
+  backoff : float;  (* seconds spent sleeping between reconnect rounds *)
   elapsed : float;
   throughput : float;  (* completed commands per second *)
   latencies : float array;  (* sorted, seconds *)
+  samples : (float * float) array;
+      (* (completion wall time, latency) in completion order — the
+         latency trace as data, whether or not a JSONL sink was given *)
 }
 
 let percentile sorted q =
@@ -226,20 +260,28 @@ let percentile sorted q =
   if n = 0 then 0.
   else sorted.(Stdlib.min (n - 1) (int_of_float (q *. float_of_int n)))
 
-let gen_op rng ~keyspace ~value_bytes i =
-  let key = Printf.sprintf "k%d" (Sim.Prng.int rng keyspace) in
-  let roll = Sim.Prng.int rng 10 in
-  if roll < 7 then
-    Command.Kv_put
-      { key; value = Printf.sprintf "%0*d" value_bytes (i land 0xffffff) }
-  else if roll < 9 then Command.Kv_get key
-  else
-    Command.Kv_cas
-      {
-        key;
-        expect = None;
-        set = Printf.sprintf "%0*d" value_bytes (i land 0xffffff);
-      }
+let gen_op rng ~mix ~keyspace ~value_bytes i =
+  match mix with
+  | Unique_puts ->
+      Command.Kv_put
+        {
+          key = "u" ^ string_of_int i;
+          value = Printf.sprintf "%0*d" value_bytes (i land 0xffffff);
+        }
+  | Mixed ->
+      let key = Printf.sprintf "k%d" (Sim.Prng.int rng keyspace) in
+      let roll = Sim.Prng.int rng 10 in
+      if roll < 7 then
+        Command.Kv_put
+          { key; value = Printf.sprintf "%0*d" value_bytes (i land 0xffffff) }
+      else if roll < 9 then Command.Kv_get key
+      else
+        Command.Kv_cas
+          {
+            key;
+            expect = None;
+            set = Printf.sprintf "%0*d" value_bytes (i land 0xffffff);
+          }
 
 let run_load ?(timeout = 10.) t load =
   if load.commands < 1 || load.pipeline < 1 then
@@ -253,6 +295,7 @@ let run_load ?(timeout = 10.) t load =
   let pending = Hashtbl.create (2 * load.pipeline) in
   (* seq -> (op, send wall time) *)
   let latencies = Array.make load.commands 0. in
+  let samples = Array.make load.commands (0., 0.) in
   let sent = ref 0 in
   let completed = ref 0 in
   let resubmitted = ref 0 in
@@ -276,8 +319,8 @@ let run_load ?(timeout = 10.) t load =
   let top_up () =
     while Hashtbl.length pending < load.pipeline && !sent < load.commands do
       submit
-        (gen_op rng ~keyspace:load.keyspace ~value_bytes:load.value_bytes
-           !sent);
+        (gen_op rng ~mix:load.mix ~keyspace:load.keyspace
+           ~value_bytes:load.value_bytes !sent);
       incr sent
     done;
     flush_requests ()
@@ -298,7 +341,10 @@ let run_load ?(timeout = 10.) t load =
             Hashtbl.remove pending seq;
             let now = Netio.wall () in
             let lat = now -. ts in
-            if !completed < load.commands then latencies.(!completed) <- lat;
+            if !completed < load.commands then begin
+              latencies.(!completed) <- lat;
+              samples.(!completed) <- (now, lat)
+            end;
             incr completed;
             (match trace with
             | Some oc ->
@@ -327,15 +373,18 @@ let run_load ?(timeout = 10.) t load =
   done;
   let elapsed = Netio.wall () -. t0 in
   (match trace with Some oc -> close_out oc | None -> ());
-  let lat = Array.sub latencies 0 !completed in
+  let n = Stdlib.min !completed load.commands in
+  let lat = Array.sub latencies 0 n in
   Array.sort Float.compare lat;
   {
     sent = !sent;
     completed = !completed;
     resubmitted = !resubmitted;
     reconnects = reconnect_count t;
+    backoff = t.backoff_total;
     elapsed;
     throughput =
       (if elapsed > 0. then float_of_int !completed /. elapsed else 0.);
     latencies = lat;
+    samples = Array.sub samples 0 n;
   }

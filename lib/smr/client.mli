@@ -14,11 +14,13 @@ exception Disconnected of string
 (** Raised when no cluster member is reachable (or a synchronous call
     exhausted its retry). *)
 
-val connect : ?verbose:bool -> ?prefer:int -> (string * int) array -> t
+val connect :
+  ?verbose:bool -> ?prefer:int -> ?backoff_seed:int -> (string * int) array -> t
 (** Connect to the first reachable member, probing from [prefer]
     (default 0) — concurrent load generators should each prefer a
     different replica so the per-command framing work spreads across
-    the cluster. *)
+    the cluster.  [backoff_seed] (default 1) seeds the reconnect
+    jitter, keeping retry timing reproducible run to run. *)
 
 val close : t -> unit
 
@@ -26,6 +28,16 @@ val member : t -> int
 (** Index of the member currently connected to. *)
 
 val reconnect_count : t -> int
+
+val backoff_total : t -> float
+(** Total seconds this client has slept between reconnect rounds. *)
+
+val backoff_delay : ?base:float -> ?cap:float -> round:int -> float -> float
+(** [backoff_delay ~round jitter] — the pure reconnect-delay curve:
+    [min cap (base * 2^round)] scaled by a jitter factor in
+    [0.75, 1.25) derived from [jitter] (which must lie in [0,1)).
+    Defaults: [base = 0.05], [cap = 1.0].  Exposed so tests can pin
+    the curve without sleeping. *)
 
 (** {2 Synchronous operations}
 
@@ -43,12 +55,20 @@ val request : ?timeout:float -> t -> Command.op -> Wire.reply
 
 (** {2 Load generation} *)
 
+type mix =
+  | Mixed  (** 70% put / 20% get / 10% cas over a shared keyspace *)
+  | Unique_puts
+      (** command [i] is [put "u<i>" v] — idempotent, so at-least-once
+          delivery yields exactly-once {e effects}; the chaos campaign's
+          workload, where the final KV state certifies the run *)
+
 type load = {
   commands : int;  (** total commands to push (>= 1) *)
   pipeline : int;  (** outstanding requests kept in flight *)
   value_bytes : int;
   keyspace : int;  (** keys are [k0 .. k(keyspace-1)] *)
   seed : int;
+  mix : mix;
   latency_trace : string option;
       (** JSONL sink: one [{"t":epoch_seconds,"lat":seconds}] line per
           completed command — the input of [client --check-recovery] *)
@@ -62,9 +82,13 @@ type report = {
   completed : int;
   resubmitted : int;  (** commands resent after a failover *)
   reconnects : int;
+  backoff : float;  (** seconds slept between reconnect rounds *)
   elapsed : float;  (** seconds *)
   throughput : float;  (** completed commands per second *)
   latencies : float array;  (** per-command seconds, sorted ascending *)
+  samples : (float * float) array;
+      (** [(completion wall time, latency)] in completion order — the
+          latency trace as data, for in-process recovery checks *)
 }
 
 val run_load : ?timeout:float -> t -> load -> report

@@ -1,0 +1,61 @@
+(* The paper's recovery bound as a reusable check over a wall-clock
+   latency trace.  Shared by `client --check-recovery` (trace read back
+   from a JSONL file) and the chaos campaign (samples straight from the
+   load report). *)
+
+type verdict = {
+  bound : float;
+  slack : float;
+  settled : float;
+  total : int;
+  post : int;
+  worst_post : float;
+  stall : float;
+  failures : string list;
+}
+
+let ok v = v.failures = []
+
+let default_slack bound = Float.max 1.0 bound
+
+let check ~bound ?slack ~after samples =
+  let slack = match slack with Some s -> s | None -> default_slack bound in
+  let settled = after +. bound +. slack in
+  let post = List.filter (fun (t, _) -> t > settled) samples in
+  let worst_post =
+    List.fold_left (fun acc (_, l) -> Float.max acc l) 0. post
+  in
+  (* longest commit stall from just before the disruption to the end *)
+  let stall, _ =
+    List.fold_left
+      (fun (stall, prev) (t, _) ->
+        if t < after -. 1. then (stall, t)
+        else (Float.max stall (t -. prev), t))
+      (0., after) samples
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  if samples = [] then fail "trace holds no samples";
+  if samples <> [] && post = [] then
+    fail "no commits after the settle point";
+  if worst_post > bound +. slack then
+    fail "post-settle latency %.3fs exceeds %.3fs" worst_post (bound +. slack);
+  if stall > bound +. slack then
+    fail "commit stall %.3fs exceeds %.3fs" stall (bound +. slack);
+  {
+    bound;
+    slack;
+    settled;
+    total = List.length samples;
+    post = List.length post;
+    worst_post;
+    stall;
+    failures = List.rev !failures;
+  }
+
+let pp fmt v =
+  Format.fprintf fmt
+    "%d samples, %d after settle point; worst post-settle latency %.3fs; \
+     longest stall %.3fs"
+    v.total v.post v.worst_post v.stall;
+  List.iter (fun m -> Format.fprintf fmt "@\nFAIL: %s" m) v.failures

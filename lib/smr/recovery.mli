@@ -1,0 +1,46 @@
+(** The paper's recovery bound, checked against a wall-clock latency
+    trace.
+
+    After a disruption ends at time [after], the model promises that
+    once message delays are δ-bounded again the cluster decides within
+    [decision_bound]; on real hardware schedulers and snapshot cadence
+    sit on top, so a slack term (default [max 1.0 bound]) is added.
+    Three conditions must hold on the trace of
+    [(completion wall time, latency)] samples:
+
+    - commits exist after the settle point [after + bound + slack];
+    - every post-settle latency is at most [bound + slack];
+    - no inter-commit stall from just before [after] onwards exceeds
+      [bound + slack].
+
+    Used by [client --check-recovery] (samples parsed from a JSONL
+    trace) and by {!Chaos}' campaign runner (samples straight from the
+    {!Client.report}). *)
+
+type verdict = {
+  bound : float;  (** the model's decision bound *)
+  slack : float;
+  settled : float;  (** [after + bound + slack] *)
+  total : int;  (** samples in the trace *)
+  post : int;  (** samples after the settle point *)
+  worst_post : float;  (** worst post-settle latency, seconds *)
+  stall : float;  (** longest inter-commit gap from [after - 1] on *)
+  failures : string list;  (** empty iff the bound holds *)
+}
+
+val check :
+  bound:float ->
+  ?slack:float ->
+  after:float ->
+  (float * float) list ->
+  verdict
+(** [check ~bound ~after samples] with samples as
+    [(completion wall time, latency seconds)] in trace order. *)
+
+val ok : verdict -> bool
+
+val default_slack : float -> float
+(** [max 1.0 bound] — CI-safe slack over the model's promise. *)
+
+val pp : Format.formatter -> verdict -> unit
+(** The summary line followed by one [FAIL: ...] line per failure. *)

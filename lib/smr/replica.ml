@@ -12,6 +12,9 @@ module Netio = Realtime.Netio
 type config = {
   id : int;
   cluster : (string * int) array;
+  bind : (string * int) option;
+      (* listen here instead of cluster.(id): lets a chaos proxy own the
+         advertised address while the replica hides on a backend port *)
   delta : float;
   batch : int;  (* max client commands folded into one decree *)
   window : int;  (* max own decrees in flight (pipelining depth) *)
@@ -25,6 +28,7 @@ let default_config ~id ~cluster =
   {
     id;
     cluster;
+    bind = None;
     delta = 0.05;
     batch = 64;
     window = 32;
@@ -80,6 +84,10 @@ let is_leading t =
   match t.st with Some st -> Multi_paxos.leading st | None -> false
 
 let kv_get t key = Kv_state.get t.kv key
+
+let kv_checksum t = Kv_state.checksum t.kv
+
+let kv_applied t = Kv_state.applied t.kv
 
 (* one-line internals dump for tests and load-harness diagnostics *)
 let stats t =
@@ -460,7 +468,16 @@ let create cfg =
       running = false;
     }
   in
-  let host, port = cfg.cluster.(cfg.id) in
+  Netio.set_registry t.io t.registry;
+  (* A peer that stalls mid-frame (or a proxy dripping bytes) must not
+     hold a connection forever; anything past one max frame plus slack
+     in unconsumed input is a protocol violation. *)
+  Netio.set_limits t.io ~partial_timeout:10.
+    ~max_input:(Wire.header_len + Wire.max_payload + 65536)
+    ();
+  let host, port =
+    match cfg.bind with Some hp -> hp | None -> cfg.cluster.(cfg.id)
+  in
   t.port <-
     Netio.listen t.io ~host ~port ~on_accept:(fun conn ->
         Hashtbl.replace t.kinds (Netio.conn_id conn) Pending;

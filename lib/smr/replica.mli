@@ -32,6 +32,11 @@
 type config = {
   id : int;  (** this replica's index into [cluster] *)
   cluster : (string * int) array;  (** (host, port) per replica *)
+  bind : (string * int) option;
+      (** listen here instead of [cluster.(id)] — lets a chaos proxy own
+          the advertised cluster address while this replica serves from a
+          backend port the proxy forwards to; [None] binds the cluster
+          address directly *)
   delta : float;  (** the protocol's post-stabilization delay bound *)
   batch : int;  (** max client commands folded into one decree *)
   window : int;  (** max own decrees in flight (pipelining depth) *)
@@ -78,9 +83,17 @@ val chosen_count : t -> int
 val is_leading : t -> bool
 
 val kv_get : t -> string -> string option
+(** Local (non-linearizable) read of the applied store. *)
 
+val kv_checksum : t -> int
+(** Order-independent digest of the applied KV state — replicas that
+    applied the same log prefix agree on it (the chaos campaign's
+    agreement check). *)
+
+val kv_applied : t -> int
+(** Number of distinct commands applied (duplicates excluded). *)
+
+val stats : t -> string
 (** One-line dump of protocol and queue internals (ballot, session,
     chosen watermark, queue depths) for tests and load-harness
     diagnostics. *)
-val stats : t -> string
-(** Local (non-linearizable) read of the applied store. *)

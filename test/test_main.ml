@@ -31,4 +31,5 @@ let () =
       ("alloc", Test_alloc.suite);
       ("lint", Test_lint.suite);
       ("fuzz", Test_fuzz.suite);
+      ("chaos", Test_chaos.suite);
     ]
